@@ -1,0 +1,31 @@
+"""Fig. 2 bench: per-problem Jaccard(title) similarity distributions."""
+
+import numpy as np
+
+from repro.experiments import heterogeneity_score, run_fig2
+
+
+def test_fig2_distribution_heterogeneity(benchmark):
+    edges, series = benchmark.pedantic(
+        lambda: run_fig2(dataset="wdc-computer", scale=0.4, random_state=0),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(f"problems plotted: {len(series)}; bins: {len(edges) - 1}")
+    match_h = heterogeneity_score(series, "matches")
+    non_match_h = heterogeneity_score(series, "non_matches")
+    print(f"heterogeneity matches={match_h:.3f} non-matches={non_match_h:.3f}")
+
+    # Fig. 2's message: the per-problem similarity distributions differ
+    # visibly, for matches and non-matches alike.
+    assert len(series) >= 6
+    assert match_h > 0.1
+    assert non_match_h > 0.05
+    # Matches concentrate higher than non-matches in every problem.
+    centers = (edges[:-1] + edges[1:]) / 2
+    for histograms in series.values():
+        m = histograms["matches"].astype(float)
+        n = histograms["non_matches"].astype(float)
+        mean_match = float((m * centers).sum() / max(m.sum(), 1))
+        mean_non = float((n * centers).sum() / max(n.sum(), 1))
+        assert mean_match > mean_non

@@ -1,0 +1,34 @@
+"""Fig. 5 bench: runtime comparison + MoRER overhead decomposition."""
+
+from repro.experiments import format_table, run_fig5
+
+
+def test_fig5_runtime_decomposition(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig5(
+            datasets=("wdc-computer", "music"), budgets=(60,),
+            scale=0.2, include_lm=True, random_state=0,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    headers = ["Dataset", "Budget", "Method", "Total (s)",
+               "Analysis+Clustering (s)", "Selection (s)"]
+    print(format_table(headers, [
+        [r["dataset"], r["budget"], r["method"], f"{r['total_s']:.2f}",
+         f"{r['analysis_clustering_s']:.2f}", f"{r['selection_s']:.3f}"]
+        for r in rows
+    ], title="Fig. 5 (scaled)"))
+
+    by = {(r["dataset"], str(r["budget"]), r["method"]): r for r in rows}
+    for dataset in ("wdc-computer", "music"):
+        morer = by[(dataset, "60", "morer+bootstrap")]
+        # The paper's RQ2 claim: analysis + clustering + selection are a
+        # modest share of MoRER's total runtime.
+        overhead = (
+            morer["analysis_clustering_s"] + morer["selection_s"]
+        )
+        assert overhead < morer["total_s"]
+        # LM methods cost more than MoRER+Bootstrap end to end.
+        ditto = by[(dataset, "50%", "ditto")]
+        assert ditto["total_s"] > morer["total_s"]

@@ -1,0 +1,31 @@
+"""Fig. 6 bench: F1 by distribution test (KS/WD/PSI/C2ST) x AL method."""
+
+from repro.experiments import format_table, run_fig6
+
+
+def test_fig6_distribution_test_grid(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig6(
+            datasets=("dexter", "wdc-computer", "music"), budgets=(60,),
+            scale=0.15, random_state=0,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["Dataset", "Budget", "AL", "Test", "F1", "#Clusters"],
+        [[r["dataset"], r["budget"], r["al"], r["test"], f"{r['f1']:.3f}",
+          r["n_clusters"]] for r in rows],
+        title="Fig. 6 (scaled)",
+    ))
+
+    assert len(rows) == 3 * 2 * 4  # datasets x AL methods x tests
+    for r in rows:
+        assert 0.0 <= r["f1"] <= 1.0
+        assert r["n_clusters"] >= 1
+    # The paper's homogeneity claim: on Music the choice of test hardly
+    # matters — F1 spread across tests stays small per AL method.
+    music = [r for r in rows if r["dataset"] == "music"]
+    for al in ("bootstrap", "almser"):
+        f1s = [r["f1"] for r in music if r["al"] == al]
+        assert max(f1s) - min(f1s) < 0.25

@@ -1,0 +1,30 @@
+"""Fig. 7 bench: sel_base vs sel_cov — quality and labelling effort."""
+
+from repro.experiments import format_table, run_fig7
+
+
+def test_fig7_selection_strategies(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig7(
+            datasets=("dexter", "wdc-computer", "music"), budget=60,
+            scale=0.15, random_state=0,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["Dataset", "Strategy", "F1", "Total labels", "Extra labels"],
+        [[r["dataset"], r["strategy"], f"{r['f1']:.3f}", r["total_labels"],
+          r["extra_labels"]] for r in rows],
+        title="Fig. 7 (scaled)",
+    ))
+
+    for dataset in ("dexter", "wdc-computer", "music"):
+        subset = {r["strategy"]: r for r in rows if r["dataset"] == dataset}
+        # Panel (b) shape: lower coverage thresholds cost at least as
+        # many extra labels as higher ones; sel_base costs none.
+        assert subset["base"]["extra_labels"] == 0
+        assert (subset["cov(0.1)"]["extra_labels"]
+                >= subset["cov(0.5)"]["extra_labels"])
+        for r in subset.values():
+            assert 0.0 <= r["f1"] <= 1.0

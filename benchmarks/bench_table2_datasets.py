@@ -1,0 +1,24 @@
+"""Table 2 bench: regenerate the dataset statistics table."""
+
+from repro.experiments import format_table, run_table2
+
+
+def test_table2_dataset_statistics(benchmark):
+    headers, rows = benchmark.pedantic(
+        lambda: run_table2(scale=0.4, random_state=0),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(headers, rows, title="Table 2 (scaled corpora)"))
+
+    by_name = {row[0]: row for row in rows}
+    # Structural shape of Table 2: Dexter has by far the most ER
+    # problems; match ratios mirror the original corpora.
+    assert by_name["dexter"][1] > 10 * by_name["wdc-computer"][1]
+    assert by_name["dexter"][1] > 10 * by_name["music"][1]
+    dexter_ratio = float(by_name["dexter"][4].rstrip("%"))
+    wdc_ratio = float(by_name["wdc-computer"][4].rstrip("%"))
+    music_ratio = float(by_name["music"][4].rstrip("%"))
+    assert 25 < dexter_ratio < 40       # paper: ~33%
+    assert 4 < wdc_ratio < 10           # paper: ~6.4%
+    assert 2 < music_ratio < 7          # paper: ~4.2%

@@ -1,0 +1,29 @@
+"""Table 5 bench: speedup factors of MoRER over the baselines."""
+
+from repro.experiments import format_table, run_table4, run_table5, speedup_rows
+
+
+def test_table5_speedup_factors(benchmark):
+    def run():
+        results = run_table4(
+            budgets=(80,), fractions=(0.5,), scale=0.15,
+            include_lm=True, lm_epochs=3, random_state=0,
+        )
+        return results, run_table5(results)
+
+    results, speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers, rows = speedup_rows(speedups)
+    print()
+    print(format_table(headers, rows, title="Table 5 (scaled)"))
+
+    # Shape: the LM-based methods are substantially slower than
+    # MoRER+Bootstrap on every dataset (the paper's headline speedups).
+    bootstrap = speedups["morer+bootstrap"]
+    slower_counts = 0
+    for dataset, per_budget in bootstrap.items():
+        for factors in per_budget.values():
+            for method in ("ditto", "sudowoodo"):
+                if method in factors:
+                    assert factors[method] > 1.0, (dataset, method)
+                    slower_counts += 1
+    assert slower_counts >= 3

@@ -1,0 +1,14 @@
+"""Benchmark configuration.
+
+Every bench regenerates one table or figure of the paper at a scaled-
+down corpus size (see EXPERIMENTS.md) and prints the rows it produced.
+``benchmark.pedantic(..., rounds=1)`` is used throughout: the units of
+work are whole experiments, not micro-kernels.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow `from benchmarks...` style imports if ever needed and keep the
+# repository root importable when benches run from another directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

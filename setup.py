@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+A setup.py (rather than PEP 517 only) is kept so that ``pip install -e .``
+works in offline environments where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "MoRER: an efficient model repository for entity resolution "
+        "(EDBT 2026 reproduction)"
+    ),
+    author="MoRER reproduction",
+    license="Apache-2.0",
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

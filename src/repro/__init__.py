@@ -1,0 +1,37 @@
+"""MoRER — an efficient model repository for entity resolution.
+
+Reproduction of Christen & Christen, *Efficient Model Repository for
+Entity Resolution: Construction, Search, and Integration* (EDBT 2026).
+
+Public API highlights
+---------------------
+- :class:`repro.MoRER` / :class:`repro.MoRERConfig` — fit a repository
+  on solved ER problems, solve new ones via ``sel_base`` / ``sel_cov``.
+- :class:`repro.ERProblem` — similarity feature vectors of a source pair.
+- :func:`repro.datasets.load_benchmark` — the three evaluation corpora.
+- :mod:`repro.baselines` — Almser, Bootstrap AL, TransER, Ditto,
+  Unicorn, Sudowoodo, AnyMatch, ZeroER.
+"""
+
+from .core import (
+    CountingOracle,
+    ERProblem,
+    ERProblemGraph,
+    ModelRepository,
+    MoRER,
+    MoRERConfig,
+    SolveResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MoRER",
+    "MoRERConfig",
+    "ERProblem",
+    "ERProblemGraph",
+    "ModelRepository",
+    "SolveResult",
+    "CountingOracle",
+    "__version__",
+]

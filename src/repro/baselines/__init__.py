@@ -1,0 +1,41 @@
+"""Baseline ER methods the paper compares against (§5.2).
+
+Active learning: :class:`AlmserActiveLearner`,
+:class:`BootstrapActiveLearner`. Transfer learning: :class:`TransER`.
+Language-model simulators (built on :mod:`repro.nn`; see DESIGN.md §2):
+:class:`DittoClassifier`, :class:`UnicornClassifier`,
+:class:`SudowoodoClassifier`, :class:`AnyMatchClassifier`.
+Unsupervised extension: :class:`ZeroER`.
+"""
+
+from .almser import AlmserActiveLearner
+from .bootstrap import BootstrapActiveLearner, record_uniqueness_scores
+
+__all__ = [
+    "AlmserActiveLearner",
+    "BootstrapActiveLearner",
+    "record_uniqueness_scores",
+]
+
+# Heavier baselines import lazily below so that importing repro.core does
+# not pull the neural substrate in.
+from .transfer import TransER  # noqa: E402
+from .zeroer import ZeroER  # noqa: E402
+from .multiem import MultiEM  # noqa: E402
+
+__all__ += ["TransER", "ZeroER", "MultiEM"]
+
+try:  # pragma: no cover - exercised once nn baselines exist
+    from .ditto import DittoClassifier
+    from .unicorn import UnicornClassifier
+    from .sudowoodo import SudowoodoClassifier
+    from .anymatch import AnyMatchClassifier
+
+    __all__ += [
+        "DittoClassifier",
+        "UnicornClassifier",
+        "SudowoodoClassifier",
+        "AnyMatchClassifier",
+    ]
+except ImportError:  # during incremental builds
+    pass

@@ -1,0 +1,68 @@
+"""Ditto simulator: fine-tuned transformer pair matcher (Li et al. 2020).
+
+Ditto serialises records (``COL .. VAL ..``) and fine-tunes a
+transformer with a binary head; its hallmark optimisation is *data
+augmentation* (token-level perturbations of training pairs). The
+simulator keeps serialisation + transformer + augmentation on the
+offline dual-encoder substrate (DESIGN.md §2); like the paper's setup
+it trains for a fixed number of epochs on *all* provided labelled
+pairs — its cost therefore scales with training-set size, which is
+exactly the behaviour Tables 4–5 probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.utils import check_random_state
+from .lm_common import PairTransformerClassifier
+
+__all__ = ["DittoClassifier"]
+
+
+class DittoClassifier(PairTransformerClassifier):
+    """Supervised transformer matcher with token-drop augmentation.
+
+    Parameters (beyond :class:`PairTransformerClassifier`)
+    ----------
+    augment : bool
+        Apply Ditto-style augmentation (random token deletion) to
+        training texts each epoch.
+    augment_rate : float
+        Probability of dropping each value token during augmentation.
+    """
+
+    name = "ditto"
+
+    def __init__(self, augment=True, augment_rate=0.1, epochs=6, dim=32,
+                 n_layers=2, random_state=None, **kwargs):
+        self.augment = augment
+        self.augment_rate = augment_rate
+        super().__init__(
+            epochs=epochs, dim=dim, n_layers=n_layers,
+            random_state=random_state, **kwargs,
+        )
+
+    def fit(self, pairs, labels, attributes=None):
+        """Fine-tune on labelled pairs with per-epoch augmentation."""
+        texts_a, texts_b = self.texts_for_pairs(pairs, attributes)
+        labels = np.asarray(labels, dtype=float)
+        if not self.augment:
+            self.fit_texts(texts_a, texts_b, labels)
+            return self
+        rng = check_random_state(self.random_state)
+        for _ in range(self.epochs):
+            aug_a = [self._augment_text(t, rng) for t in texts_a]
+            aug_b = [self._augment_text(t, rng) for t in texts_b]
+            self.fit_texts(aug_a, aug_b, labels, epochs=1)
+        return self
+
+    def _augment_text(self, text, rng):
+        tokens = text.split()
+        kept = [
+            token
+            for token in tokens
+            if token in ("COL", "VAL")
+            or rng.random() >= self.augment_rate
+        ]
+        return " ".join(kept) if kept else text

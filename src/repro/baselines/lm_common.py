@@ -1,0 +1,275 @@
+"""Shared machinery for the language-model baseline simulators.
+
+The real baselines fine-tune DistilBERT (Ditto, Unicorn), GPT-2
+(AnyMatch) or contrastively pretrain BERT (Sudowoodo). Offline — with
+no pretrained weights available — a from-scratch cross-encoder cannot
+learn token equality from a few thousand pairs, so the simulators use a
+**dual-encoder** (SBERT-style) formulation instead: both records are
+encoded with a shared tiny transformer and compared through the
+``[u, v, |u - v|, u * v]`` interaction vector. This keeps each method's
+mechanism (serialised records, transformer representation learning,
+epochs of gradient descent whose cost scales with training-set size)
+while being trainable without pretraining; see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.utils import check_random_state
+from ..nn import (
+    Adam,
+    Dense,
+    HashingTokenizer,
+    MaskedMeanPool,
+    ReLU,
+    TransformerEncoder,
+    bce_with_logits,
+    clip_gradients,
+    serialize_record,
+)
+
+__all__ = ["PairTransformerClassifier", "interaction_features",
+           "interaction_backward"]
+
+
+def interaction_features(u, v):
+    """SBERT-style interaction vector ``[u, v, |u-v|, u*v]``."""
+    return np.concatenate([u, v, np.abs(u - v), u * v], axis=1)
+
+
+def interaction_backward(grad_z, u, v):
+    """Backward of :func:`interaction_features` -> ``(grad_u, grad_v)``."""
+    dim = u.shape[1]
+    gu = grad_z[:, :dim].copy()
+    gv = grad_z[:, dim:2 * dim].copy()
+    gabs = grad_z[:, 2 * dim:3 * dim]
+    gprod = grad_z[:, 3 * dim:]
+    sign = np.sign(u - v)
+    gu += gabs * sign + gprod * v
+    gv += -gabs * sign + gprod * u
+    return gu, gv
+
+
+class PairTransformerClassifier:
+    """Dual-encoder transformer matcher over serialised records.
+
+    Parameters
+    ----------
+    vocab_size, max_len : int
+        Hashing tokenizer configuration (``max_len`` per record).
+    dim, n_heads, n_layers : int
+        Shared encoder size.
+    epochs : int
+        Training epochs over the labelled pairs.
+    batch_size : int
+    lr : float
+        Adam learning rate.
+    random_state : int, optional
+    """
+
+    def __init__(self, vocab_size=2048, max_len=64, dim=32, n_heads=2,
+                 n_layers=2, epochs=5, batch_size=32, lr=2e-3,
+                 tokenize_unit="qgrams", random_state=None):
+        self.vocab_size = vocab_size
+        self.max_len = max_len
+        self.dim = dim
+        self.n_heads = n_heads
+        self.n_layers = n_layers
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.tokenize_unit = tokenize_unit
+        self.random_state = random_state
+        self._build()
+
+    def _build(self):
+        self._rng = check_random_state(self.random_state)
+        self.tokenizer = HashingTokenizer(
+            self.vocab_size, self.max_len, unit=self.tokenize_unit
+        )
+        self.encoder = TransformerEncoder(
+            vocab_size=self.vocab_size,
+            dim=self.dim,
+            n_heads=self.n_heads,
+            n_layers=self.n_layers,
+            max_len=self.max_len,
+            dropout=0.1,
+            rng=self._rng,
+        )
+        self.pool = MaskedMeanPool()
+        self.head_hidden = Dense(4 * self.dim, self.dim, rng=self._rng)
+        self.head_act = ReLU()
+        self.head_out = Dense(self.dim, 1, rng=self._rng)
+
+    def parameters(self):
+        """All trainable parameters (encoder + comparison head)."""
+        return (
+            self.encoder.parameters()
+            + self.head_hidden.parameters()
+            + self.head_out.parameters()
+        )
+
+    # -- data ----------------------------------------------------------------
+
+    def texts_for_pairs(self, pairs, attributes=None):
+        """Serialise pairs into aligned ``(texts_a, texts_b)`` lists."""
+        texts_a = [serialize_record(a, attributes) for a, _ in pairs]
+        texts_b = [serialize_record(b, attributes) for _, b in pairs]
+        return texts_a, texts_b
+
+    # -- training ----------------------------------------------------------------
+
+    def fit_texts(self, texts_a, texts_b, labels, epochs=None, lr=None):
+        """Train on pre-serialised record texts; returns final epoch loss."""
+        labels = np.asarray(labels, dtype=float)
+        if not len(texts_a) == len(texts_b) == len(labels):
+            raise ValueError("texts and labels must align")
+        n_pos = labels.sum()
+        n_neg = len(labels) - n_pos
+        # Weighted BCE against the heavy non-match skew of ER pools.
+        self._pos_weight = (
+            float(np.clip(n_neg / max(n_pos, 1), 1.0, 20.0))
+        )
+        ids_a, masks_a = self.tokenizer.encode_batch(texts_a)
+        ids_b, masks_b = self.tokenizer.encode_batch(texts_b)
+        optimizer = Adam(self.parameters(), lr=lr or self.lr)
+        n = len(labels)
+        last_loss = float("nan")
+        for _ in range(epochs or self.epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                loss = self._train_batch(
+                    ids_a[batch], masks_a[batch],
+                    ids_b[batch], masks_b[batch],
+                    labels[batch], optimizer,
+                )
+                epoch_loss += loss * len(batch)
+            last_loss = epoch_loss / n
+        self._calibrate_threshold(ids_a, masks_a, ids_b, masks_b, labels)
+        return last_loss
+
+    def _calibrate_threshold(self, ids_a, masks_a, ids_b, masks_b, labels):
+        """Pick the F1-optimal decision threshold on the training pool.
+
+        Standard for imbalanced matching: the weighted loss shifts the
+        probability scale, so 0.5 is rarely the best operating point.
+        """
+        n = len(labels)
+        sample = np.arange(n)
+        if n > 1500:
+            sample = self._rng.choice(n, size=1500, replace=False)
+        probabilities = np.empty(len(sample))
+        for start in range(0, len(sample), 256):
+            chunk = sample[start:start + 256]
+            u, v = self._encode_batch_pair(
+                ids_a[chunk], masks_a[chunk], ids_b[chunk], masks_b[chunk],
+                False,
+            )
+            logits = self._head_forward(
+                interaction_features(u, v), training=False
+            ).ravel()
+            probabilities[start:start + len(chunk)] = 1.0 / (
+                1.0 + np.exp(-np.clip(logits, -35, 35))
+            )
+        truth = labels[sample]
+        best_threshold, best_f1 = 0.5, -1.0
+        for threshold in np.linspace(0.1, 0.9, 17):
+            predictions = (probabilities >= threshold).astype(int)
+            tp = np.sum((predictions == 1) & (truth == 1))
+            fp = np.sum((predictions == 1) & (truth == 0))
+            fn = np.sum((predictions == 0) & (truth == 1))
+            f1 = 2 * tp / max(2 * tp + fp + fn, 1)
+            if f1 > best_f1:
+                best_f1, best_threshold = f1, float(threshold)
+        self.threshold_ = best_threshold
+
+    def _encode_batch_pair(self, ids_a, masks_a, ids_b, masks_b, training):
+        """One encoder pass over the stacked [A; B] batch."""
+        ids = np.vstack([ids_a, ids_b])
+        masks = np.vstack([masks_a, masks_b])
+        hidden = self.encoder.forward(ids, mask=masks, training=training)
+        pooled = self.pool.forward(hidden, mask=masks)
+        half = len(ids_a)
+        return pooled[:half], pooled[half:]
+
+    def _head_forward(self, z, training):
+        hidden = self.head_hidden.forward(z, training=training)
+        hidden = self.head_act.forward(hidden, training=training)
+        return self.head_out.forward(hidden, training=training)
+
+    def _head_backward(self, dlogits):
+        grad = self.head_out.backward(dlogits)
+        grad = self.head_act.backward(grad)
+        return self.head_hidden.backward(grad)
+
+    def _train_batch(self, ids_a, masks_a, ids_b, masks_b, targets,
+                     optimizer):
+        u, v = self._encode_batch_pair(ids_a, masks_a, ids_b, masks_b, True)
+        z = interaction_features(u, v)
+        logits = self._head_forward(z, training=True)
+        loss, dlogits = bce_with_logits(
+            logits, targets, pos_weight=self._pos_weight
+        )
+        grad_z = self._head_backward(dlogits.reshape(-1, 1))
+        grad_u, grad_v = interaction_backward(grad_z, u, v)
+        grad_pooled = np.vstack([grad_u, grad_v])
+        grad_hidden = self.pool.backward(grad_pooled)
+        self.encoder.backward(grad_hidden)
+        clip_gradients(self.parameters())
+        optimizer.step()
+        return loss
+
+    def fit(self, pairs, labels, attributes=None):
+        """Train on record pairs (attribute dicts or Records)."""
+        texts_a, texts_b = self.texts_for_pairs(pairs, attributes)
+        self.fit_texts(texts_a, texts_b, labels)
+        return self
+
+    # -- inference ----------------------------------------------------------------
+
+    def predict_proba_pair_texts(self, texts_a, texts_b):
+        """Match probability per serialised record pair."""
+        ids_a, masks_a = self.tokenizer.encode_batch(texts_a)
+        ids_b, masks_b = self.tokenizer.encode_batch(texts_b)
+        probabilities = np.empty(len(texts_a))
+        for start in range(0, len(texts_a), 256):
+            stop = start + 256
+            u, v = self._encode_batch_pair(
+                ids_a[start:stop], masks_a[start:stop],
+                ids_b[start:stop], masks_b[start:stop], False,
+            )
+            logits = self._head_forward(
+                interaction_features(u, v), training=False
+            ).ravel()
+            probabilities[start:stop] = 1.0 / (
+                1.0 + np.exp(-np.clip(logits, -35, 35))
+            )
+        return probabilities
+
+    def predict_proba(self, pairs, attributes=None):
+        """Match probability per record pair."""
+        texts_a, texts_b = self.texts_for_pairs(pairs, attributes)
+        return self.predict_proba_pair_texts(texts_a, texts_b)
+
+    def predict(self, pairs, attributes=None, threshold=None):
+        """Binary predictions (calibrated threshold unless overridden)."""
+        if threshold is None:
+            threshold = getattr(self, "threshold_", 0.5)
+        return (
+            self.predict_proba(pairs, attributes) >= threshold
+        ).astype(int)
+
+    def embed_texts(self, texts):
+        """Pooled encoder embeddings (no head), (n, dim)."""
+        ids, masks = self.tokenizer.encode_batch(texts)
+        outputs = []
+        for start in range(0, len(texts), 256):
+            stop = start + 256
+            hidden = self.encoder.forward(
+                ids[start:stop], mask=masks[start:stop], training=False
+            )
+            outputs.append(self.pool.forward(hidden, mask=masks[start:stop]))
+        return np.vstack(outputs)

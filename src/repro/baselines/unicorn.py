@@ -1,0 +1,154 @@
+"""Unicorn simulator: unified encoder + mixture-of-experts (Fan et al. 2024).
+
+Unicorn trains one model for many matching tasks: a shared encoder
+feeds a mixture-of-experts layer whose gate routes each input to
+experts, trained with a combined loss balancing expert diversity and
+importance. The simulator keeps the architecture — shared transformer
+encoder, softmax gate over ``n_experts`` feed-forward experts on the
+pair-interaction vector, gate load-balancing regulariser — on the
+offline substrate (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.utils import check_random_state
+from ..nn import Dense, ReLU, bce_with_logits, clip_gradients
+from ..nn.layers import Layer
+from .lm_common import (
+    PairTransformerClassifier,
+    interaction_backward,
+    interaction_features,
+)
+
+__all__ = ["UnicornClassifier", "MixtureOfExperts"]
+
+
+class MixtureOfExperts(Layer):
+    """Softmax-gated mixture of two-layer feed-forward experts."""
+
+    def __init__(self, in_dim, out_dim, n_experts=6, rng=None):
+        rng = check_random_state(rng)
+        self.n_experts = n_experts
+        self.gate = Dense(in_dim, n_experts, rng=rng)
+        self.experts = [
+            _Expert(in_dim, out_dim, rng=rng) for _ in range(n_experts)
+        ]
+        self.out_dim = out_dim
+
+    def forward(self, x, training=False):
+        gate_logits = self.gate.forward(x, training=training)
+        shifted = gate_logits - gate_logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        self._gates = exp / exp.sum(axis=1, keepdims=True)
+        self._expert_outputs = [
+            expert.forward(x, training=training) for expert in self.experts
+        ]
+        output = np.zeros((x.shape[0], self.out_dim))
+        for k in range(self.n_experts):
+            output += self._gates[:, k:k + 1] * self._expert_outputs[k]
+        return output
+
+    def backward(self, grad_output):
+        grad_input = None
+        grad_gates = np.empty_like(self._gates)
+        for k in range(self.n_experts):
+            grad_expert = self._gates[:, k:k + 1] * grad_output
+            contribution = self.experts[k].backward(grad_expert)
+            grad_input = (
+                contribution if grad_input is None else grad_input + contribution
+            )
+            grad_gates[:, k] = np.sum(
+                grad_output * self._expert_outputs[k], axis=1
+            )
+        # Softmax backward on the gate.
+        inner = np.sum(grad_gates * self._gates, axis=1, keepdims=True)
+        grad_logits = self._gates * (grad_gates - inner)
+        grad_input += self.gate.backward(grad_logits)
+        return grad_input
+
+    def load_balance_penalty(self):
+        """Squared coefficient of variation of mean gate usage.
+
+        The usual MoE importance regulariser, pushing towards uniform
+        expert utilisation (Unicorn's "balanced importance of experts").
+        """
+        importance = self._gates.mean(axis=0)
+        mean = importance.mean()
+        if mean <= 0:
+            return 0.0
+        return float(importance.var() / mean**2)
+
+
+class _Expert(Layer):
+    def __init__(self, in_dim, out_dim, rng=None):
+        self.fc1 = Dense(in_dim, out_dim, rng=rng)
+        self.act = ReLU()
+        self.fc2 = Dense(out_dim, out_dim, rng=rng)
+
+    def forward(self, x, training=False):
+        hidden = self.fc1.forward(x, training=training)
+        hidden = self.act.forward(hidden, training=training)
+        return self.fc2.forward(hidden, training=training)
+
+    def backward(self, grad_output):
+        grad = self.fc2.backward(grad_output)
+        grad = self.act.backward(grad)
+        return self.fc1.backward(grad)
+
+
+class UnicornClassifier(PairTransformerClassifier):
+    """Shared encoder + MoE comparison head.
+
+    Parameters (beyond :class:`PairTransformerClassifier`)
+    ----------
+    n_experts : int
+        Number of experts (the evaluation uses six).
+    """
+
+    name = "unicorn"
+
+    def __init__(self, n_experts=6, dim=32, n_layers=1, epochs=6,
+                 random_state=None, **kwargs):
+        self.n_experts = n_experts
+        super().__init__(
+            dim=dim, n_layers=n_layers, epochs=epochs,
+            random_state=random_state, **kwargs,
+        )
+        self.moe = MixtureOfExperts(
+            4 * self.dim, self.dim, n_experts, rng=self._rng
+        )
+
+    def parameters(self):
+        """Encoder + MoE + output head parameters."""
+        return (
+            self.encoder.parameters()
+            + self.moe.parameters()
+            + self.head_out.parameters()
+        )
+
+    def _head_forward(self, z, training):
+        mixed = self.moe.forward(z, training=training)
+        return self.head_out.forward(mixed, training=training)
+
+    def _head_backward(self, dlogits):
+        grad = self.head_out.backward(dlogits)
+        return self.moe.backward(grad)
+
+    def _train_batch(self, ids_a, masks_a, ids_b, masks_b, targets,
+                     optimizer):
+        u, v = self._encode_batch_pair(ids_a, masks_a, ids_b, masks_b, True)
+        z = interaction_features(u, v)
+        logits = self._head_forward(z, training=True)
+        loss, dlogits = bce_with_logits(
+            logits, targets, pos_weight=getattr(self, "_pos_weight", 1.0)
+        )
+        loss += 0.01 * self.moe.load_balance_penalty()
+        grad_z = self._head_backward(dlogits.reshape(-1, 1))
+        grad_u, grad_v = interaction_backward(grad_z, u, v)
+        grad_hidden = self.pool.backward(np.vstack([grad_u, grad_v]))
+        self.encoder.backward(grad_hidden)
+        clip_gradients(self.parameters())
+        optimizer.step()
+        return loss

@@ -1,0 +1,98 @@
+"""ZeroER: entity resolution with zero labelled examples (Wu et al. 2020).
+
+Related-work extension (§3): the match / non-match densities of the
+similarity feature vectors are modelled with a two-component Gaussian
+mixture; the component with the higher mean similarity is the match
+class. Two of the original adaptations are kept: a variance floor
+against overfitting and an optional transitivity clean-up that demotes
+predicted matches violating one-to-one consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.gmm import GaussianMixture
+from ..ml.utils import check_array
+
+__all__ = ["ZeroER"]
+
+
+class ZeroER:
+    """Unsupervised GMM-based match classifier.
+
+    Parameters
+    ----------
+    match_prior : float
+        Decision threshold on the match-component responsibility.
+    reg_covar : float
+        Variance floor (the original's overfitting adaptation).
+    enforce_one_to_one : bool
+        Keep only the best match per record (transitivity adaptation);
+        needs ``pair_ids`` at predict time.
+    random_state : int, optional
+    """
+
+    name = "zeroer"
+
+    def __init__(self, match_prior=0.5, reg_covar=1e-3,
+                 enforce_one_to_one=False, random_state=None):
+        if not 0.0 < match_prior < 1.0:
+            raise ValueError("match_prior must be in (0, 1)")
+        self.match_prior = match_prior
+        self.reg_covar = reg_covar
+        self.enforce_one_to_one = enforce_one_to_one
+        self.random_state = random_state
+
+    def fit(self, features):
+        """Fit the two-component mixture on unlabelled feature vectors."""
+        X = check_array(features)
+        self._gmm = GaussianMixture(
+            n_components=2,
+            reg_covar=self.reg_covar,
+            random_state=self.random_state,
+        ).fit(X)
+        # The match component has the larger mean similarity overall.
+        component_means = self._gmm.means_.mean(axis=1)
+        self.match_component_ = int(np.argmax(component_means))
+        return self
+
+    def predict_proba(self, features):
+        """Responsibility of the match component per vector."""
+        responsibilities = self._gmm.predict_proba(check_array(features))
+        return responsibilities[:, self.match_component_]
+
+    def predict(self, features, pair_ids=None):
+        """Binary match predictions; optional one-to-one clean-up."""
+        proba = self.predict_proba(features)
+        predictions = (proba >= self.match_prior).astype(int)
+        if self.enforce_one_to_one and pair_ids is not None:
+            predictions = _best_match_only(predictions, proba, pair_ids)
+        return predictions
+
+    def fit_predict(self, features, pair_ids=None):
+        """Fit on the problem and classify it in one call."""
+        return self.fit(features).predict(features, pair_ids)
+
+
+def _best_match_only(predictions, proba, pair_ids):
+    """Greedy one-to-one matching over the predicted matches.
+
+    Predicted matches are visited in decreasing probability; a pair
+    survives only when neither record has been matched yet — every
+    record keeps at most one partner.
+    """
+    candidates = [
+        index for index in range(len(pair_ids)) if predictions[index] == 1
+    ]
+    candidates.sort(key=lambda index: -proba[index])
+    taken = set()
+    cleaned = np.zeros_like(predictions)
+    for index in candidates:
+        record_a, record_b = pair_ids[index]
+        if record_a in taken or record_b in taken:
+            continue
+        taken.add(record_a)
+        taken.add(record_b)
+        cleaned[index] = 1
+    return cleaned

@@ -1,0 +1,60 @@
+"""Embedding-based nearest-neighbour candidate generation.
+
+Recent ER systems block with record-embedding nearest neighbours
+(§4.1; Thirumuruganathan et al. 2021). Here records are embedded with
+TF-IDF over their concatenated attribute values and candidates are the
+top-k cosine neighbours across sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..similarity.tfidf import TfidfVectorizer
+
+__all__ = ["embed_records", "embedding_topk_pairs"]
+
+
+def embed_records(records, attributes=None, vectorizer=None):
+    """TF-IDF embed records over the concatenation of ``attributes``.
+
+    Returns ``(matrix, vectorizer)``; pass the returned vectorizer back
+    in to embed another source into the same space.
+    """
+    texts = [_serialize(record, attributes) for record in records]
+    if vectorizer is None:
+        vectorizer = TfidfVectorizer()
+        matrix = vectorizer.fit_transform(texts)
+    else:
+        matrix = vectorizer.transform(texts)
+    return matrix, vectorizer
+
+
+def embedding_topk_pairs(records_a, records_b, attributes=None, k=5):
+    """Yield ``(record_a, record_b)`` for the top-k neighbours of each a.
+
+    A joint TF-IDF space is fitted over both sources so the cosine
+    geometry is shared.
+    """
+    texts = [_serialize(r, attributes) for r in records_a] + [
+        _serialize(r, attributes) for r in records_b
+    ]
+    vectorizer = TfidfVectorizer()
+    matrix = vectorizer.fit_transform(texts)
+    va = matrix[: len(records_a)]
+    vb = matrix[len(records_a):]
+    if len(records_b) == 0 or len(records_a) == 0:
+        return
+    sims = va @ vb.T
+    k = min(k, len(records_b))
+    top = np.argpartition(-sims, k - 1, axis=1)[:, :k]
+    for i, neighbours in enumerate(top):
+        for j in neighbours:
+            yield records_a[i], records_b[int(j)]
+
+
+def _serialize(record, attributes):
+    keys = attributes if attributes is not None else [
+        key for key in record if key != "id"
+    ]
+    return " ".join(str(record.get(key) or "") for key in keys)

@@ -1,0 +1,40 @@
+"""Sorted neighbourhood blocking (Hernández & Stolfo 1995)."""
+
+from __future__ import annotations
+
+__all__ = ["sorted_neighbourhood_pairs"]
+
+
+def sorted_neighbourhood_pairs(records_a, records_b, key_function, window=5):
+    """Candidate pairs within a sliding ``window`` over the sorted keys.
+
+    Both sources are merged, sorted by the blocking key, and every pair
+    of records from *different* sources within the window becomes a
+    candidate. Records with a ``None`` key are skipped.
+    """
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    tagged = []
+    for record in records_a:
+        key = key_function(record)
+        if key is not None:
+            tagged.append((str(key), 0, record))
+    for record in records_b:
+        key = key_function(record)
+        if key is not None:
+            tagged.append((str(key), 1, record))
+    tagged.sort(key=lambda item: item[0])
+
+    seen = set()
+    for i in range(len(tagged)):
+        for j in range(i + 1, min(i + window, len(tagged))):
+            _, side_i, record_i = tagged[i]
+            _, side_j, record_j = tagged[j]
+            if side_i == side_j:
+                continue
+            a, b = (record_i, record_j) if side_i == 0 else (record_j, record_i)
+            pair_id = (id(a), id(b))
+            if pair_id in seen:
+                continue
+            seen.add(pair_id)
+            yield a, b

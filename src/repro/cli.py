@@ -1,0 +1,71 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Regenerates any table or figure of the paper's evaluation from the
+terminal, e.g.::
+
+    python -m repro table2
+    python -m repro table4 --scale 0.2 --no-lm
+    python -m repro fig6 --scale 0.15
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = ("table2", "table4", "table5", "fig2", "fig5", "fig6", "fig7")
+
+
+def build_parser():
+    """The argparse parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the MoRER paper's tables and figures on the "
+            "scaled-down synthetic corpora."
+        ),
+    )
+    parser.add_argument(
+        "experiment", choices=_EXPERIMENTS,
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="corpus scale factor (1.0 = the repository default size)",
+    )
+    parser.add_argument(
+        "--no-lm", action="store_true",
+        help="skip the slow language-model baselines where applicable",
+    )
+    return parser
+
+
+def main(argv=None):
+    """Dispatch to the experiment drivers; returns their result object."""
+    args = build_parser().parse_args(argv)
+    from . import experiments
+
+    if args.experiment == "table2":
+        return experiments.table2.main(scale=args.scale)
+    if args.experiment == "table4":
+        return experiments.table4.main(
+            scale=args.scale, include_lm=not args.no_lm
+        )
+    if args.experiment == "table5":
+        return experiments.table5.main(scale=args.scale)
+    if args.experiment == "fig2":
+        return experiments.fig2.main(scale=args.scale)
+    if args.experiment == "fig5":
+        return experiments.fig5.main(
+            scale=args.scale, include_lm=not args.no_lm
+        )
+    if args.experiment == "fig6":
+        return experiments.fig6.main(scale=args.scale)
+    if args.experiment == "fig7":
+        return experiments.fig7.main(scale=args.scale)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""MoRER core: problems, distribution analysis, graph, budget, repository."""
+
+from .budget import BudgetError, distribute_budget, merge_singletons
+from .config import CLASSIFIERS, MoRERConfig, make_classifier
+from .distribution import (
+    DISTRIBUTION_TESTS,
+    ClassifierTwoSampleTest,
+    KolmogorovSmirnovTest,
+    PopulationStabilityTest,
+    WassersteinTest,
+    make_distribution_test,
+    problem_similarity,
+)
+from .graph import ERProblemGraph
+from .maintenance import (
+    adjusted_rand_index,
+    cluster_conductance,
+    perturbation_stability,
+    repository_health,
+    silhouette_scores,
+)
+from .morer import CountingOracle, MoRER
+from .problem import ERProblem
+from .repository import ClusterEntry, ModelRepository
+from .selection import SolveResult, pool_problems, select_base, select_cov
+
+__all__ = [
+    "ERProblem",
+    "MoRER",
+    "MoRERConfig",
+    "CountingOracle",
+    "ModelRepository",
+    "ClusterEntry",
+    "ERProblemGraph",
+    "SolveResult",
+    "select_base",
+    "select_cov",
+    "pool_problems",
+    "KolmogorovSmirnovTest",
+    "WassersteinTest",
+    "PopulationStabilityTest",
+    "ClassifierTwoSampleTest",
+    "DISTRIBUTION_TESTS",
+    "make_distribution_test",
+    "problem_similarity",
+    "distribute_budget",
+    "merge_singletons",
+    "BudgetError",
+    "CLASSIFIERS",
+    "make_classifier",
+    "silhouette_scores",
+    "cluster_conductance",
+    "adjusted_rand_index",
+    "perturbation_stability",
+    "repository_health",
+]

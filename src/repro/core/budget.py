@@ -1,0 +1,162 @@
+"""Label-budget distribution over clusters (§4.4, Eqs. 4–9).
+
+Every cluster receives a guaranteed minimum ``b_min``; the remainder is
+split between non-singleton and singleton clusters proportionally to
+their task counts (Eqs. 6–7) and, inside each group, proportionally to
+the clusters' total numbers of feature vectors (Eqs. 8–9). When the
+total budget cannot fund ``b_min`` for every cluster (Eq. 4), singleton
+clusters are merged into their most similar non-singleton cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["distribute_budget", "merge_singletons", "BudgetError"]
+
+
+class BudgetError(ValueError):
+    """Raised when a budget cannot fund even the merged clustering."""
+
+
+def merge_singletons(clusters, problems_by_key, similarity):
+    """Merge singleton clusters into their most similar larger cluster.
+
+    Parameters
+    ----------
+    clusters : list of set
+        Clusters of problem keys.
+    problems_by_key : dict
+        ``key -> ERProblem`` lookup.
+    similarity : callable
+        ``(problem_a, problem_b) -> float`` used to pick the target.
+
+    Returns the merged cluster list. If everything is a singleton the
+    problems are merged into a single cluster.
+    """
+    singletons = [c for c in clusters if len(c) == 1]
+    larger = [set(c) for c in clusters if len(c) > 1]
+    if not larger:
+        merged = set()
+        for cluster in clusters:
+            merged |= cluster
+        return [merged]
+    for singleton in singletons:
+        key = next(iter(singleton))
+        problem = problems_by_key[key]
+        best_index = 0
+        best_similarity = -np.inf
+        for index, cluster in enumerate(larger):
+            score = max(
+                similarity(problem, problems_by_key[other]) for other in cluster
+            )
+            if score > best_similarity:
+                best_similarity = score
+                best_index = index
+        larger[best_index].add(key)
+    return larger
+
+
+def distribute_budget(clusters, problems_by_key, b_total, b_min=50,
+                      similarity=None, policy="proportional"):
+    """Allocate label budgets to clusters.
+
+    Parameters
+    ----------
+    clusters : list of set
+        Clusters of problem keys.
+    problems_by_key : dict
+        ``key -> ERProblem``.
+    b_total : int
+        Total labelling budget :math:`b_{tot}`.
+    b_min : int
+        Guaranteed minimum per cluster :math:`b_{min}`.
+    similarity : callable, optional
+        Needed only when Eq. 4 forces singleton merging.
+    policy : {"proportional", "uniform"}
+        ``"proportional"`` is the paper's Eqs. 5–9; ``"uniform"`` splits
+        ``b_total`` evenly (the strawman §4.4 argues against — kept for
+        the ablation bench).
+
+    Returns
+    -------
+    (clusters, budgets) : (list of set, list of int)
+        Possibly merged clusters and their integer budgets;
+        ``sum(budgets) <= b_total``.
+    """
+    if policy not in ("proportional", "uniform"):
+        raise ValueError("policy must be 'proportional' or 'uniform'")
+    if b_total < b_min:
+        raise BudgetError(
+            f"total budget {b_total} cannot fund b_min={b_min} for one cluster"
+        )
+    clusters = [set(c) for c in clusters if c]
+    if not clusters:
+        return [], []
+
+    # Eq. 4: not enough budget for b_min everywhere -> merge singletons.
+    if len(clusters) * b_min > b_total:
+        if similarity is None:
+            raise BudgetError(
+                f"{len(clusters)} clusters need {len(clusters) * b_min} "
+                f"minimum labels but b_total={b_total}; pass a similarity "
+                "function so singleton clusters can be merged"
+            )
+        clusters = merge_singletons(clusters, problems_by_key, similarity)
+        if len(clusters) * b_min > b_total:
+            raise BudgetError(
+                f"even after merging, {len(clusters)} clusters exceed the "
+                f"budget {b_total} at b_min={b_min}"
+            )
+
+    if policy == "uniform":
+        share = b_total // len(clusters)
+        budgets = []
+        for cluster in clusters:
+            available = sum(problems_by_key[k].n_pairs for k in cluster)
+            budgets.append(min(share, available))
+        return clusters, budgets
+
+    n_problems = sum(len(c) for c in clusters)
+    non_singleton = [i for i, c in enumerate(clusters) if len(c) > 1]
+    singleton = [i for i, c in enumerate(clusters) if len(c) == 1]
+
+    # Eq. 5 and Eqs. 6-7.
+    b_rem = b_total - b_min * len(clusters)
+    ratio_ns = sum(len(clusters[i]) for i in non_singleton) / n_problems
+    ratio_s = sum(len(clusters[i]) for i in singleton) / n_problems
+
+    def total_vectors(indices):
+        return {
+            i: sum(problems_by_key[k].n_pairs for k in clusters[i])
+            for i in indices
+        }
+
+    vectors_ns = total_vectors(non_singleton)
+    vectors_s = total_vectors(singleton)
+    sum_ns = sum(vectors_ns.values())
+    sum_s = sum(vectors_s.values())
+
+    budgets = [float(b_min)] * len(clusters)
+    for i in non_singleton:
+        if sum_ns > 0:
+            budgets[i] += vectors_ns[i] / sum_ns * b_rem * ratio_ns  # Eq. 9
+    for i in singleton:
+        if sum_s > 0:
+            budgets[i] += vectors_s[i] / sum_s * b_rem * ratio_s
+
+    # Integerise without exceeding b_total; hand out the remainder by
+    # largest fractional part.
+    floored = [int(b) for b in budgets]
+    remainder = min(b_total, int(sum(budgets))) - sum(floored)
+    fractional = sorted(
+        range(len(budgets)), key=lambda i: budgets[i] - floored[i],
+        reverse=True,
+    )
+    for i in fractional[:max(0, remainder)]:
+        floored[i] += 1
+    # Never allocate more labels than a cluster has vectors.
+    for i, cluster in enumerate(clusters):
+        available = sum(problems_by_key[k].n_pairs for k in cluster)
+        floored[i] = min(floored[i], available)
+    return clusters, floored

@@ -1,0 +1,120 @@
+"""MoRER configuration (the paper's Table 3 parameter grid)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from ..ml.forest import RandomForestClassifier
+from ..ml.linear import LogisticRegression
+from ..ml.tree import DecisionTreeClassifier
+
+__all__ = ["MoRERConfig", "make_classifier", "CLASSIFIERS"]
+
+#: Classifier registry for cluster models.
+CLASSIFIERS = {
+    "random_forest": lambda random_state: RandomForestClassifier(
+        n_estimators=30, max_depth=10, random_state=random_state
+    ),
+    "decision_tree": lambda random_state: DecisionTreeClassifier(
+        max_depth=10, random_state=random_state
+    ),
+    "logistic_regression": lambda random_state: LogisticRegression(
+        class_weight="balanced"
+    ),
+}
+
+
+def make_classifier(name, random_state=0):
+    """Instantiate a cluster classifier by registry name."""
+    try:
+        factory = CLASSIFIERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown classifier {name!r}; choose from {sorted(CLASSIFIERS)}"
+        ) from None
+    return factory(random_state)
+
+
+@dataclass
+class MoRERConfig:
+    """All tunables of MoRER, defaults matching Table 3 (bold values).
+
+    Attributes
+    ----------
+    distribution_test : str
+        ``"ks"`` (default), ``"wd"``, ``"psi"`` or ``"c2st"``.
+    test_params : dict
+        Extra kwargs for the distribution test (e.g. PSI bins).
+    clustering_algorithm : str
+        ``"leiden"`` (default), ``"louvain"``, ``"label_propagation"``
+        or ``"girvan_newman"``.
+    resolution : float
+        Leiden/Louvain resolution.
+    min_similarity : float
+        Edge threshold of the ER problem graph.
+    model_generation : str
+        ``"al"`` (budget-limited) or ``"supervised"`` (all labels).
+    al_method : str
+        ``"bootstrap"`` (default) or ``"almser"``.
+    b_total : int
+        Total labelling budget :math:`b_{tot}` (paper: 1000/1500/2000).
+    b_min : int
+        Per-cluster minimum :math:`b_{min}`.
+    selection : str
+        ``"base"`` (:math:`sel_{base}`) or ``"cov"`` (:math:`sel_{cov}`).
+    t_cov : float
+        Coverage threshold triggering retraining under ``sel_cov``.
+    classifier : str
+        Cluster model family (see :data:`CLASSIFIERS`).
+    committee_k : int
+        Bootstrap committee size (paper: 100; scaled default 10).
+    batch_size : int
+        AL batch size.
+    use_record_score : bool
+        Enable MoRER's Eq. 11–12 extension of Bootstrap AL.
+    random_state : int
+        Master seed.
+    """
+
+    distribution_test: str = "ks"
+    test_params: dict = field(default_factory=dict)
+    clustering_algorithm: str = "leiden"
+    resolution: float = 1.0
+    min_similarity: float = 0.0
+    model_generation: str = "al"
+    al_method: str = "bootstrap"
+    b_total: int = 1000
+    b_min: int = 50
+    budget_policy: str = "proportional"
+    selection: str = "base"
+    t_cov: float = 0.25
+    classifier: str = "random_forest"
+    committee_k: int = 10
+    batch_size: int = 25
+    use_record_score: bool = True
+    random_state: int = 0
+
+    def __post_init__(self):
+        if self.model_generation not in ("al", "supervised"):
+            raise ValueError("model_generation must be 'al' or 'supervised'")
+        if self.al_method not in ("bootstrap", "almser"):
+            raise ValueError("al_method must be 'bootstrap' or 'almser'")
+        if self.selection not in ("base", "cov"):
+            raise ValueError("selection must be 'base' or 'cov'")
+        if not 0.0 < self.t_cov <= 1.0:
+            raise ValueError("t_cov must be in (0, 1]")
+        if self.b_min <= 0 or self.b_total <= 0:
+            raise ValueError("budgets must be positive")
+        if self.budget_policy not in ("proportional", "uniform"):
+            raise ValueError(
+                "budget_policy must be 'proportional' or 'uniform'"
+            )
+
+    def to_dict(self):
+        """Plain-dict form (JSON-safe) for repository manifests."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**data)

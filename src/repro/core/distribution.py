@@ -1,0 +1,229 @@
+"""Similarity distribution analysis between ER problems (§4.2).
+
+Implements the four tests the paper evaluates (Fig. 6):
+
+* **KS** — Kolmogorov–Smirnov statistic on feature CDFs (Eq. 1),
+* **WD** — Wasserstein-1 distance between feature CDFs (Eq. 2),
+* **PSI** — population stability index over binned features (Eq. 3),
+* **C2ST** — multivariate classifier two-sample test (Lopez-Paz &
+  Oquab 2016): ``sim_p`` is the inverse F1 of a classifier trying to
+  tell the two problems apart.
+
+Distances are mapped to similarities in ``[0, 1]``: ``1 − KS``,
+``1 − WD`` (W1 ≤ 1 because features live on the unit interval) and
+``1 / (1 + PSI)`` (PSI is unbounded). Univariate per-feature
+similarities are aggregated into the problem similarity ``sim_p`` as a
+weighted mean, weighted by feature standard deviation (the paper's
+discriminative-power proxy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.linear import LogisticRegression
+from ..ml.metrics import f1_score
+from ..ml.model_selection import cross_val_predict
+from ..ml.utils import check_random_state
+
+__all__ = [
+    "KolmogorovSmirnovTest",
+    "WassersteinTest",
+    "PopulationStabilityTest",
+    "ClassifierTwoSampleTest",
+    "DISTRIBUTION_TESTS",
+    "make_distribution_test",
+    "problem_similarity",
+]
+
+
+class _UnivariateTest:
+    """Base class: per-feature similarity + std-weighted aggregation."""
+
+    name = "univariate"
+
+    def feature_similarity(self, values_a, values_b):
+        """Similarity in [0, 1] of two 1-d samples; overridden."""
+        raise NotImplementedError
+
+    def problem_similarity(self, features_a, features_b):
+        """Weighted-mean feature similarity ``sim_p`` of two problems.
+
+        Features are weighted by the mean of their standard deviations
+        in the two problems; when every feature is constant the weights
+        fall back to uniform.
+        """
+        features_a = np.asarray(features_a, dtype=float)
+        features_b = np.asarray(features_b, dtype=float)
+        if features_a.ndim != 2 or features_b.ndim != 2:
+            raise ValueError("feature matrices must be 2-d")
+        if features_a.shape[1] != features_b.shape[1]:
+            raise ValueError(
+                "ER problems must share the feature space "
+                f"({features_a.shape[1]} vs {features_b.shape[1]} features)"
+            )
+        n_features = features_a.shape[1]
+        similarities = np.empty(n_features)
+        for f in range(n_features):
+            similarities[f] = self.feature_similarity(
+                features_a[:, f], features_b[:, f]
+            )
+        weights = 0.5 * (features_a.std(axis=0) + features_b.std(axis=0))
+        if weights.sum() <= 1e-12:
+            weights = np.ones(n_features)
+        return float(np.dot(similarities, weights) / weights.sum())
+
+
+class KolmogorovSmirnovTest(_UnivariateTest):
+    """``sim = 1 − sup |CDF_a − CDF_b|`` (Eq. 1)."""
+
+    name = "ks"
+
+    def feature_similarity(self, values_a, values_b):
+        """One minus the two-sample KS statistic."""
+        a = np.sort(np.asarray(values_a, dtype=float))
+        b = np.sort(np.asarray(values_b, dtype=float))
+        if a.size == 0 or b.size == 0:
+            raise ValueError("empty sample in KS test")
+        support = np.concatenate([a, b])
+        cdf_a = np.searchsorted(a, support, side="right") / a.size
+        cdf_b = np.searchsorted(b, support, side="right") / b.size
+        statistic = float(np.max(np.abs(cdf_a - cdf_b)))
+        return 1.0 - statistic
+
+
+class WassersteinTest(_UnivariateTest):
+    """``sim = 1 − W1`` on [0, 1] features (Eq. 2).
+
+    The paper sums absolute CDF differences on equal-size CDF vectors;
+    for samples on the unit interval that sum is exactly the
+    Wasserstein-1 distance :math:`\\int_0^1 |F_a - F_b|\\,dx \\le 1`,
+    which we compute exactly by piecewise integration.
+    """
+
+    name = "wd"
+
+    def feature_similarity(self, values_a, values_b):
+        """One minus the exact empirical W1 distance."""
+        a = np.sort(np.asarray(values_a, dtype=float))
+        b = np.sort(np.asarray(values_b, dtype=float))
+        if a.size == 0 or b.size == 0:
+            raise ValueError("empty sample in Wasserstein test")
+        support = np.unique(np.concatenate([a, b, [0.0, 1.0]]))
+        cdf_a = np.searchsorted(a, support, side="right") / a.size
+        cdf_b = np.searchsorted(b, support, side="right") / b.size
+        widths = np.diff(support)
+        distance = float(np.sum(np.abs(cdf_a[:-1] - cdf_b[:-1]) * widths))
+        return 1.0 - min(distance, 1.0)
+
+
+class PopulationStabilityTest(_UnivariateTest):
+    """``sim = 1 / (1 + PSI)`` over ``n_bins`` equal-width bins (Eq. 3).
+
+    Bin proportions are Laplace-smoothed so empty bins cannot produce
+    infinite index values.
+    """
+
+    name = "psi"
+
+    def __init__(self, n_bins=100, smoothing=1e-4):
+        if n_bins < 2:
+            raise ValueError("PSI needs at least two bins")
+        self.n_bins = n_bins
+        self.smoothing = smoothing
+
+    def feature_similarity(self, values_a, values_b):
+        """Inverse-PSI similarity of two 1-d samples."""
+        a = np.asarray(values_a, dtype=float)
+        b = np.asarray(values_b, dtype=float)
+        if a.size == 0 or b.size == 0:
+            raise ValueError("empty sample in PSI test")
+        edges = np.linspace(0.0, 1.0, self.n_bins + 1)
+        prop_a, _ = np.histogram(np.clip(a, 0, 1), bins=edges)
+        prop_b, _ = np.histogram(np.clip(b, 0, 1), bins=edges)
+        prop_a = prop_a / a.size + self.smoothing
+        prop_b = prop_b / b.size + self.smoothing
+        prop_a /= prop_a.sum()
+        prop_b /= prop_b.sum()
+        psi = float(np.sum((prop_a - prop_b) * np.log(prop_a / prop_b)))
+        return 1.0 / (1.0 + max(psi, 0.0))
+
+
+class ClassifierTwoSampleTest:
+    """Multivariate C2ST: ``sim_p = 1 − F1`` of a discriminator (§4.2).
+
+    A classifier is trained to distinguish the two problems' feature
+    vectors; cross-validated predictions keep the score honest. Samples
+    are capped at ``max_samples`` per side to bound cost on large
+    problems. The default discriminator is logistic regression (one of
+    the standard C2ST choices in Lopez-Paz & Oquab 2016) because the
+    test runs once per *pair of ER problems* — quadratic in the number
+    of problems.
+    """
+
+    name = "c2st"
+
+    def __init__(self, estimator=None, cv=2, max_samples=150,
+                 random_state=0):
+        self.estimator = estimator
+        self.cv = cv
+        self.max_samples = max_samples
+        self.random_state = random_state
+
+    def problem_similarity(self, features_a, features_b):
+        """Inverse F1 of the discriminator between the two problems."""
+        features_a = np.asarray(features_a, dtype=float)
+        features_b = np.asarray(features_b, dtype=float)
+        if features_a.shape[1] != features_b.shape[1]:
+            raise ValueError("ER problems must share the feature space")
+        rng = check_random_state(self.random_state)
+        a = _subsample(features_a, self.max_samples, rng)
+        b = _subsample(features_b, self.max_samples, rng)
+        X = np.vstack([a, b])
+        y = np.concatenate([np.zeros(len(a), dtype=int),
+                            np.ones(len(b), dtype=int)])
+        estimator = self.estimator or LogisticRegression(
+            max_iter=40, lr=0.5
+        )
+        predictions = cross_val_predict(
+            estimator, X, y, cv=self.cv,
+            random_state=int(rng.integers(0, 2**31 - 1)),
+        )
+        # F1 w.r.t. the smaller side addresses the size skew the paper
+        # mentions; with equal subsamples it reduces to plain F1.
+        positive = 1 if len(b) <= len(a) else 0
+        score = f1_score(y, predictions, positive_label=positive)
+        return float(np.clip(1.0 - score, 0.0, 1.0))
+
+
+def _subsample(matrix, max_samples, rng):
+    if len(matrix) <= max_samples:
+        return matrix
+    keep = rng.choice(len(matrix), size=max_samples, replace=False)
+    return matrix[keep]
+
+
+#: Registry of test names (Table 3) -> factory.
+DISTRIBUTION_TESTS = {
+    "ks": KolmogorovSmirnovTest,
+    "wd": WassersteinTest,
+    "psi": PopulationStabilityTest,
+    "c2st": ClassifierTwoSampleTest,
+}
+
+
+def make_distribution_test(name, **kwargs):
+    """Instantiate a distribution test from its Table 3 short name."""
+    try:
+        factory = DISTRIBUTION_TESTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown distribution test {name!r}; choose from "
+            f"{sorted(DISTRIBUTION_TESTS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def problem_similarity(problem_a, problem_b, test):
+    """``sim_p`` between two :class:`~repro.core.problem.ERProblem`."""
+    return test.problem_similarity(problem_a.features, problem_b.features)

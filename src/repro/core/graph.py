@@ -1,0 +1,119 @@
+"""The ER problem similarity graph :math:`G_P` (§4.3).
+
+Vertices are ER problems (keyed by source pair), edges carry the
+aggregated distribution similarity ``sim_p``. The graph is clustered
+with Leiden by default and is extendable: new unsolved problems are
+attached by comparing them against all existing vertices (the
+``sel_cov`` strategy of §4.5 reclusters after insertion).
+"""
+
+from __future__ import annotations
+
+from ..graphcluster import CLUSTERING_ALGORITHMS, Graph
+from .distribution import make_distribution_test
+
+__all__ = ["ERProblemGraph"]
+
+
+class ERProblemGraph:
+    """Similarity graph over ER problems.
+
+    Parameters
+    ----------
+    test : distribution test or str
+        Object with ``problem_similarity(features_a, features_b)`` or a
+        Table 3 short name (``"ks"``, ``"wd"``, ``"psi"``, ``"c2st"``).
+    min_similarity : float
+        Edges below this weight are omitted; 0.0 keeps every positive
+        similarity (the default — Leiden handles dense graphs fine at
+        this scale).
+    """
+
+    def __init__(self, test="ks", min_similarity=0.0):
+        if isinstance(test, str):
+            test = make_distribution_test(test)
+        self.test = test
+        self.min_similarity = min_similarity
+        self.graph = Graph()
+        self._problems = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, problems, test="ks", min_similarity=0.0):
+        """Build the graph over an iterable of initial ER problems."""
+        instance = cls(test, min_similarity)
+        for problem in problems:
+            instance.add_problem(problem)
+        return instance
+
+    def add_problem(self, problem):
+        """Insert ``problem`` and weight edges to every existing vertex."""
+        key = problem.key
+        if key in self._problems:
+            raise ValueError(f"ER problem {key} already in the graph")
+        self.graph.add_node(key)
+        for other_key, other in self._problems.items():
+            similarity = self.test.problem_similarity(
+                problem.features, other.features
+            )
+            if similarity > self.min_similarity:
+                self.graph.add_edge(key, other_key, similarity)
+        self._problems[key] = problem
+
+    def remove_problem(self, key):
+        """Remove a problem vertex (used by repository maintenance)."""
+        if key not in self._problems:
+            raise KeyError(f"no ER problem {key} in the graph")
+        self.graph.remove_node(key)
+        del self._problems[key]
+
+    # -- access --------------------------------------------------------------
+
+    def __contains__(self, key):
+        return key in self._problems
+
+    def __len__(self):
+        return len(self._problems)
+
+    def problem(self, key):
+        """The :class:`ERProblem` stored under ``key``."""
+        return self._problems[key]
+
+    def problems(self):
+        """All stored problems (dict view)."""
+        return dict(self._problems)
+
+    def similarity(self, key_a, key_b):
+        """Edge weight between two problems (0.0 if below threshold)."""
+        return self.graph.edge_weight(key_a, key_b)
+
+    # -- clustering ----------------------------------------------------------
+
+    def cluster(self, algorithm="leiden", resolution=1.0, random_state=None):
+        """Partition the problems into clusters of similar ER tasks.
+
+        Returns a list of sets of problem keys. Isolated vertices come
+        back as singleton clusters.
+        """
+        if algorithm not in CLUSTERING_ALGORITHMS:
+            raise KeyError(
+                f"unknown clustering algorithm {algorithm!r}; choose from "
+                f"{sorted(CLUSTERING_ALGORITHMS)}"
+            )
+        if len(self._problems) == 0:
+            return []
+        func = CLUSTERING_ALGORITHMS[algorithm]
+        if algorithm == "girvan_newman":
+            communities = func(self.graph)
+        elif algorithm == "leiden":
+            communities = func(
+                self.graph, resolution=resolution, random_state=random_state
+            )
+        elif algorithm == "louvain":
+            communities = func(
+                self.graph, resolution=resolution, random_state=random_state
+            )
+        else:
+            communities = func(self.graph, random_state=random_state)
+        return [set(community) for community in communities]

@@ -1,0 +1,357 @@
+"""The MoRER facade: fit a model repository, solve new ER problems.
+
+Workflow (Fig. 3): similarity distribution analysis over the initial
+problems -> ER problem graph -> Leiden clustering -> per-cluster budget
+-> active-learning training-data selection -> one classifier per
+cluster, stored in a :class:`~repro.core.repository.ModelRepository`.
+New problems are served by :math:`sel_{base}` (repository search) or
+:math:`sel_{cov}` (graph integration + coverage-driven retraining).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from ..baselines.almser import AlmserActiveLearner
+from ..baselines.bootstrap import BootstrapActiveLearner
+from ..ml.utils import check_random_state
+from .budget import distribute_budget
+from .config import MoRERConfig, make_classifier
+from .distribution import make_distribution_test
+from .graph import ERProblemGraph
+from .repository import ModelRepository
+from .selection import SolveResult, pool_problems, select_base, select_cov
+
+__all__ = ["MoRER", "CountingOracle"]
+
+
+class CountingOracle:
+    """Labelling oracle that reads ground truth and counts every query."""
+
+    def __init__(self, labels):
+        self._labels = np.asarray(labels)
+        self.count = 0
+
+    def __call__(self, indices):
+        indices = [int(i) for i in indices]
+        self.count += len(indices)
+        return self._labels[indices]
+
+
+class MoRER:
+    """Model repositories for entity resolution.
+
+    Parameters
+    ----------
+    config : MoRERConfig, optional
+        Full configuration; keyword overrides are applied on top, so
+        ``MoRER(b_total=2000)`` works without building a config first.
+
+    Examples
+    --------
+    >>> morer = MoRER(b_total=500, random_state=0)
+    >>> morer.fit(initial_problems)            # doctest: +SKIP
+    >>> result = morer.solve(new_problem)      # doctest: +SKIP
+    >>> result.predictions                     # doctest: +SKIP
+    """
+
+    def __init__(self, config=None, **overrides):
+        if config is None:
+            config = MoRERConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.config = config
+        self.test = make_distribution_test(
+            config.distribution_test, **config.test_params
+        )
+        self._rng = check_random_state(config.random_state)
+        self.problem_graph = None
+        self.repository = None
+        self.clusters_ = None
+        self.trained_keys = set()
+        self.timings = {
+            "analysis": 0.0,      # pairwise distribution tests
+            "clustering": 0.0,    # Leiden runs
+            "al_selection": 0.0,  # training-data selection
+            "training": 0.0,      # classifier fits
+            "search": 0.0,        # repository search (sel_base)
+        }
+
+    # -- construction (Fig. 3 steps 1-3) -------------------------------------
+
+    def fit(self, initial_problems):
+        """Initialise the repository from labelled problems (the P_I set).
+
+        Every problem must carry labels; AL queries them through a
+        counting oracle so the spent budget is tracked faithfully.
+        """
+        initial_problems = list(initial_problems)
+        if not initial_problems:
+            raise ValueError("need at least one initial ER problem")
+        for problem in initial_problems:
+            if problem.labels is None:
+                raise ValueError(
+                    f"initial problem {problem.key} has no labels; MoRER "
+                    "initialisation needs a labelling oracle"
+                )
+        n_features = {p.n_features for p in initial_problems}
+        if len(n_features) != 1:
+            raise ValueError(
+                "initial problems disagree on the feature space; MoRER "
+                "assumes a shared comparison schema (§2)"
+            )
+
+        started = time.perf_counter()
+        self.problem_graph = ERProblemGraph.build(
+            initial_problems, self.test, self.config.min_similarity
+        )
+        self.timings["analysis"] += time.perf_counter() - started
+
+        clusters = self._timed_cluster()
+
+        problems_by_key = self.problem_graph.problems()
+        if self.config.model_generation == "al":
+            clusters, budgets = distribute_budget(
+                clusters,
+                problems_by_key,
+                self.config.b_total,
+                self.config.b_min,
+                similarity=lambda a, b: self.test.problem_similarity(
+                    a.features, b.features
+                ),
+                policy=self.config.budget_policy,
+            )
+        else:
+            budgets = [None] * len(clusters)
+        self.clusters_ = clusters
+
+        self.repository = ModelRepository(self.test, self.config)
+        record_cluster_counts = self._record_cluster_counts(clusters)
+        for cluster, budget in zip(clusters, budgets):
+            problems = [problems_by_key[key] for key in cluster]
+            self._build_cluster_model(
+                cluster, problems, budget, record_cluster_counts,
+                len(clusters),
+            )
+            self.trained_keys |= set(cluster)
+        return self
+
+    def _build_cluster_model(self, cluster, problems, budget,
+                             record_cluster_counts, n_clusters):
+        features, labels, pair_ids = pool_problems(problems)
+        oracle = CountingOracle(labels)
+        if budget is None:  # supervised: use everything
+            train_idx = np.arange(len(labels))
+            train_labels = oracle(train_idx)
+        else:
+            learner = self._make_learner()
+            started = time.perf_counter()
+            train_idx, train_labels = learner.select(
+                features, oracle, budget,
+                pair_ids=pair_ids,
+                record_cluster_counts=record_cluster_counts,
+                n_clusters=n_clusters,
+            )
+            self.timings["al_selection"] += time.perf_counter() - started
+        model = make_classifier(
+            self.config.classifier,
+            int(self._rng.integers(0, 2**31 - 1)),
+        )
+        started = time.perf_counter()
+        model.fit(features[train_idx], train_labels)
+        self.timings["training"] += time.perf_counter() - started
+        return self.repository.add_entry(
+            cluster, model, features[train_idx], train_labels,
+            labels_spent=oracle.count, trained_keys=cluster,
+        )
+
+    def _make_learner(self):
+        seed = int(self._rng.integers(0, 2**31 - 1))
+        if self.config.al_method == "almser":
+            return AlmserActiveLearner(
+                batch_size=self.config.batch_size, random_state=seed
+            )
+        return BootstrapActiveLearner(
+            k=self.config.committee_k,
+            batch_size=self.config.batch_size,
+            use_record_score=self.config.use_record_score,
+            random_state=seed,
+        )
+
+    def _record_cluster_counts(self, clusters):
+        """``record id -> number of clusters it occurs in`` (Eq. 12)."""
+        counts = {}
+        problems_by_key = self.problem_graph.problems()
+        for cluster in clusters:
+            records = set()
+            for key in cluster:
+                problem = problems_by_key[key]
+                if problem.pair_ids is None:
+                    continue
+                for record_a, record_b in problem.pair_ids:
+                    records.add(record_a)
+                    records.add(record_b)
+            for record in records:
+                counts[record] = counts.get(record, 0) + 1
+        return counts
+
+    # -- solving (Fig. 3 steps 4-5) --------------------------------------------
+
+    def solve(self, problem, oracle=None, strategy=None):
+        """Classify an unsolved ER problem with a repository model.
+
+        Parameters
+        ----------
+        problem : ERProblem
+            The problem to solve. Labels, if present, are *only* used
+            as the labelling oracle for ``sel_cov`` retraining — never
+            for prediction.
+        oracle : callable, optional
+            Custom labelling oracle for retraining; defaults to the
+            problem's own labels.
+        strategy : {"base", "cov"}, optional
+            Overrides ``config.selection`` per call.
+
+        Returns
+        -------
+        SolveResult
+        """
+        if self.repository is None:
+            raise RuntimeError("MoRER is not fitted; call fit() first")
+        strategy = strategy or self.config.selection
+        if strategy == "base":
+            started = time.perf_counter()
+            result = select_base(self, problem)
+            self.timings["search"] += time.perf_counter() - started
+            return result
+        if strategy == "cov":
+            return select_cov(self, problem, oracle)
+        raise ValueError(f"unknown selection strategy {strategy!r}")
+
+    def predict(self, problem, **kwargs):
+        """Shortcut for ``solve(problem).predictions``."""
+        return self.solve(problem, **kwargs).predictions
+
+    # -- sel_cov internals (called from selection.py) ----------------------------
+
+    def _timed_add_problem(self, problem):
+        started = time.perf_counter()
+        self.problem_graph.add_problem(problem)
+        self.timings["analysis"] += time.perf_counter() - started
+
+    def _timed_cluster(self):
+        started = time.perf_counter()
+        clusters = self.problem_graph.cluster(
+            self.config.clustering_algorithm,
+            self.config.resolution,
+            int(self._rng.integers(0, 2**31 - 1)),
+        )
+        self.timings["clustering"] += time.perf_counter() - started
+        self.clusters_ = clusters
+        return clusters
+
+    def _train_new_cluster_model(self, cluster, problem, oracle):
+        """Fresh model for a cluster made entirely of unseen problems."""
+        problems = []
+        for key in cluster:
+            stored = self.problem_graph.problem(key)
+            problems.append(stored)
+        features, labels, pair_ids = pool_problems(problems)
+        if labels is None and oracle is None:
+            raise ValueError(
+                f"cluster {sorted(cluster)} has no labels and no oracle "
+                "was provided; cannot train a new model"
+            )
+        counting = CountingOracle(labels) if labels is not None else oracle
+        total_initial = sum(
+            p.n_pairs for p in self.problem_graph.problems().values()
+        )
+        budget = max(
+            self.config.b_min,
+            int(round(self.config.b_total * len(features) / max(total_initial, 1))),
+        )
+        budget = min(budget, len(features))
+        learner = self._make_learner()
+        started = time.perf_counter()
+        train_idx, train_labels = learner.select(
+            features, counting, budget, pair_ids=pair_ids,
+            record_cluster_counts={}, n_clusters=max(len(self.clusters_), 1),
+        )
+        self.timings["al_selection"] += time.perf_counter() - started
+        model = make_classifier(
+            self.config.classifier, int(self._rng.integers(0, 2**31 - 1))
+        )
+        started = time.perf_counter()
+        model.fit(features[train_idx], train_labels)
+        self.timings["training"] += time.perf_counter() - started
+        spent = counting.count if isinstance(counting, CountingOracle) else 0
+        cluster_id = self.repository.add_entry(
+            cluster, model, features[train_idx], train_labels,
+            labels_spent=spent, trained_keys=cluster,
+        )
+        self.trained_keys |= set(cluster)
+        return SolveResult(
+            predictions=np.empty(0),
+            cluster_id=cluster_id,
+            new_model=True,
+            labels_spent=spent,
+            coverage=1.0,
+        )
+
+    def _update_entry(self, entry, cluster, untrained, coverage, oracle):
+        """Eq. 14 retraining of an existing entry; returns labels spent."""
+        problems = [self.problem_graph.problem(key) for key in untrained]
+        features, labels, pair_ids = pool_problems(problems)
+        if labels is None and oracle is None:
+            return 0
+        counting = CountingOracle(labels) if labels is not None else oracle
+        # Eq. 14 algebraically reduces to cov(C) * |T ∩ C_prev| (see
+        # DESIGN.md): the budget is proportional to how much of the new
+        # cluster the previous training data fails to cover.
+        budget = int(round(coverage * len(entry.training_labels)))
+        budget = min(budget, len(features))
+        if budget < 2:
+            return 0
+        learner = self._make_learner()
+        started = time.perf_counter()
+        train_idx, train_labels = learner.select(
+            features, counting, budget, pair_ids=pair_ids,
+            record_cluster_counts={},
+            n_clusters=max(len(self.clusters_ or ()), 1),
+        )
+        self.timings["al_selection"] += time.perf_counter() - started
+        new_features = np.vstack(
+            [entry.training_features, features[train_idx]]
+        )
+        new_labels = np.concatenate([entry.training_labels, train_labels])
+        model = make_classifier(
+            self.config.classifier, int(self._rng.integers(0, 2**31 - 1))
+        )
+        started = time.perf_counter()
+        model.fit(new_features, new_labels)
+        self.timings["training"] += time.perf_counter() - started
+        spent = counting.count if isinstance(counting, CountingOracle) else 0
+        entry.model = model
+        entry.training_features = new_features
+        entry.training_labels = new_labels
+        entry.labels_spent += spent
+        entry.trained_keys |= set(untrained)
+        self.trained_keys |= set(untrained)
+        return spent
+
+    # -- reporting ----------------------------------------------------------------
+
+    def total_labels_spent(self):
+        """All oracle queries so far (fit + retraining)."""
+        return self.repository.total_labels_spent() if self.repository else 0
+
+    def overhead_seconds(self):
+        """Time spent on analysis + clustering + search (Fig. 5 overlay)."""
+        return (
+            self.timings["analysis"]
+            + self.timings["clustering"]
+            + self.timings["search"]
+        )

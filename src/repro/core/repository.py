@@ -1,0 +1,214 @@
+"""The ER model repository: construction, search, persistence.
+
+A repository holds one :class:`ClusterEntry` per cluster of similar ER
+problems: the trained classifier :math:`M_{C_i}`, the training feature
+vectors :math:`P_{C_i}` the AL method selected (the cluster's
+*representative*, used to match new problems against the cluster), and
+bookkeeping (which problems contributed, how many labels were spent).
+
+Persistence is a plain directory — ``manifest.json`` + one ``.npz`` of
+arrays + JSON-serialised models — no pickle, so stores are portable and
+auditable (the paper's future-work backend, §7).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..ml import ESTIMATOR_REGISTRY
+from .config import MoRERConfig
+from .distribution import make_distribution_test
+from .problem import ERProblem
+
+__all__ = ["ClusterEntry", "ModelRepository"]
+
+
+@dataclass
+class ClusterEntry:
+    """One cluster's model + representative training data.
+
+    Attributes
+    ----------
+    cluster_id : int
+    problem_keys : set of tuple
+        ER problems assigned to this cluster at the last (re)clustering.
+    model : classifier
+        Trained :math:`M_{C_i}` (``predict`` / ``predict_proba``).
+    training_features : ndarray
+        The selected vectors :math:`P_{C_i}` — the cluster representative.
+    training_labels : ndarray
+    labels_spent : int
+        Oracle queries charged to this entry so far.
+    trained_keys : set of tuple
+        Problems whose vectors have been used for training (subset of
+        the global ``T`` set of §4.5).
+    """
+
+    cluster_id: int
+    problem_keys: set
+    model: object
+    training_features: np.ndarray
+    training_labels: np.ndarray
+    labels_spent: int = 0
+    trained_keys: set = field(default_factory=set)
+
+    def predict(self, features):
+        """Classify feature vectors with the cluster model."""
+        return self.model.predict(features)
+
+
+class ModelRepository:
+    """Store, search and persist cluster models.
+
+    Parameters
+    ----------
+    test : distribution test or str
+        Test used for repository *search* (matching a new problem to a
+        cluster representative) — the same test used to build the
+        problem graph, per §4.5.
+    config : MoRERConfig, optional
+        Stored alongside for provenance; persisted in the manifest.
+    """
+
+    def __init__(self, test="ks", config=None):
+        if isinstance(test, str):
+            test = make_distribution_test(test)
+        self.test = test
+        self.config = config
+        self.entries = {}
+        self._next_id = 0
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries.values())
+
+    def add_entry(self, problem_keys, model, training_features,
+                  training_labels, labels_spent=0, trained_keys=None):
+        """Register a new cluster entry; returns its id."""
+        entry = ClusterEntry(
+            cluster_id=self._next_id,
+            problem_keys=set(problem_keys),
+            model=model,
+            training_features=np.asarray(training_features, dtype=float),
+            training_labels=np.asarray(training_labels, dtype=int),
+            labels_spent=int(labels_spent),
+            trained_keys=set(trained_keys or ()),
+        )
+        self.entries[entry.cluster_id] = entry
+        self._next_id += 1
+        return entry.cluster_id
+
+    def remove_entry(self, cluster_id):
+        """Drop an entry (superseded after reclustering)."""
+        del self.entries[cluster_id]
+
+    def entry_for_problem(self, key):
+        """Entry whose cluster contains problem ``key`` (or ``None``)."""
+        for entry in self.entries.values():
+            if key in entry.problem_keys:
+                return entry
+        return None
+
+    def search(self, problem):
+        """Repository *search*: best entry for a new ER problem.
+
+        Compares the problem's feature vectors against every entry's
+        representative :math:`P_{C_i}` with the repository's
+        distribution test and returns ``(entry, similarity)``; this is
+        the :math:`sel_{base}` primitive (§4.5).
+        """
+        if not self.entries:
+            raise LookupError("the repository is empty; fit MoRER first")
+        features = (
+            problem.features if isinstance(problem, ERProblem) else problem
+        )
+        best_entry = None
+        best_similarity = -np.inf
+        for entry in self.entries.values():
+            similarity = self.test.problem_similarity(
+                features, entry.training_features
+            )
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best_entry = entry
+        return best_entry, float(best_similarity)
+
+    def total_labels_spent(self):
+        """Sum of oracle queries across entries."""
+        return sum(entry.labels_spent for entry in self.entries.values())
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path):
+        """Persist the repository to directory ``path``."""
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "test": self.test.name,
+            "config": self.config.to_dict() if self.config else None,
+            "next_id": self._next_id,
+            "entries": [],
+        }
+        arrays = {}
+        for entry in self.entries.values():
+            manifest["entries"].append(
+                {
+                    "cluster_id": entry.cluster_id,
+                    "problem_keys": sorted(
+                        list(key) for key in entry.problem_keys
+                    ),
+                    "trained_keys": sorted(
+                        list(key) for key in entry.trained_keys
+                    ),
+                    "labels_spent": entry.labels_spent,
+                    "model_class": type(entry.model).__name__,
+                }
+            )
+            arrays[f"features_{entry.cluster_id}"] = entry.training_features
+            arrays[f"labels_{entry.cluster_id}"] = entry.training_labels
+            model_path = path / f"model_{entry.cluster_id}.json"
+            model_path.write_text(json.dumps(entry.model.to_dict()))
+        (path / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        np.savez_compressed(path / "vectors.npz", **arrays)
+
+    @classmethod
+    def load(cls, path):
+        """Load a repository saved with :meth:`save`."""
+        path = Path(path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        config = (
+            MoRERConfig.from_dict(manifest["config"])
+            if manifest.get("config")
+            else None
+        )
+        test_name = manifest["test"]
+        test_params = config.test_params if config else {}
+        repository = cls(
+            make_distribution_test(test_name, **test_params), config
+        )
+        arrays = np.load(path / "vectors.npz")
+        for meta in manifest["entries"]:
+            cluster_id = meta["cluster_id"]
+            model_state = json.loads(
+                (path / f"model_{cluster_id}.json").read_text()
+            )
+            model_cls = ESTIMATOR_REGISTRY[meta["model_class"]]
+            model = model_cls.from_dict(model_state)
+            entry = ClusterEntry(
+                cluster_id=cluster_id,
+                problem_keys={tuple(key) for key in meta["problem_keys"]},
+                model=model,
+                training_features=arrays[f"features_{cluster_id}"],
+                training_labels=arrays[f"labels_{cluster_id}"],
+                labels_spent=meta["labels_spent"],
+                trained_keys={tuple(key) for key in meta["trained_keys"]},
+            )
+            repository.entries[cluster_id] = entry
+        repository._next_id = manifest["next_id"]
+        return repository

@@ -1,0 +1,165 @@
+"""Model selection strategies for new ER problems (§4.5).
+
+* :func:`select_base` — :math:`sel_{base}`: search the repository for
+  the most similar cluster representative and apply its model, assuming
+  minimal domain shift.
+* :func:`select_cov` — :math:`sel_{cov}`: integrate the new problem
+  into the ER problem graph, recluster, and retrain models whose
+  clusters are no longer covered by their training data (Eqs. 13–14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SolveResult", "pool_problems", "select_base", "select_cov"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of solving one unsolved ER problem.
+
+    Attributes
+    ----------
+    predictions : ndarray
+        0/1 match predictions aligned with the problem's vectors.
+    cluster_id : int
+        Repository entry that served the problem.
+    similarity : float
+        ``sim_p`` between the problem and the chosen representative
+        (``sel_base``) or ``nan`` when chosen structurally (``sel_cov``).
+    new_model : bool
+        A brand-new model was trained for an all-new cluster.
+    retrained : bool
+        An existing model was updated because coverage exceeded
+        :math:`t_{cov}`.
+    labels_spent : int
+        Oracle labels consumed while serving this problem.
+    coverage : float
+        The Eq. 13 coverage ratio observed (``sel_cov`` only).
+    """
+
+    predictions: np.ndarray
+    cluster_id: int
+    similarity: float = float("nan")
+    new_model: bool = False
+    retrained: bool = False
+    labels_spent: int = 0
+    coverage: float = 0.0
+
+
+def pool_problems(problems):
+    """Concatenate problems into one AL pool.
+
+    Returns ``(features, labels, pair_ids)``; labels are ``None`` when
+    any problem lacks them, pair ids fall back to synthetic unique ids
+    when missing so graph-based AL still functions.
+    """
+    features = np.vstack([p.features for p in problems])
+    labels = None
+    if all(p.labels is not None for p in problems):
+        labels = np.concatenate([p.labels for p in problems])
+    pair_ids = []
+    for index, problem in enumerate(problems):
+        if problem.pair_ids is not None:
+            pair_ids.extend(problem.pair_ids)
+        else:
+            prefix = f"{problem.source_a}|{problem.source_b}|{index}"
+            pair_ids.extend(
+                (f"{prefix}|a{i}", f"{prefix}|b{i}")
+                for i in range(problem.n_pairs)
+            )
+    return features, labels, pair_ids
+
+
+def select_base(morer, problem):
+    """Apply :math:`sel_{base}`: repository search, no integration."""
+    entry, similarity = morer.repository.search(problem)
+    predictions = entry.predict(problem.features)
+    return SolveResult(
+        predictions=predictions,
+        cluster_id=entry.cluster_id,
+        similarity=similarity,
+    )
+
+
+def select_cov(morer, problem, oracle=None):
+    """Apply :math:`sel_{cov}`: integrate, recluster, maybe retrain.
+
+    ``oracle`` labels vectors of *unsolved* problems during retraining;
+    when omitted, the problems' own labels act as the oracle (the usual
+    evaluation setup, with every query counted).
+    """
+    key = problem.key
+    if key not in morer.problem_graph:
+        morer._timed_add_problem(problem)
+    clusters = morer._timed_cluster()
+
+    new_cluster = next((c for c in clusters if key in c), {key})
+    trained = morer.trained_keys & new_cluster
+    untrained = new_cluster - morer.trained_keys
+
+    if not trained:
+        # Every problem of the cluster is unseen: train a fresh model.
+        result = morer._train_new_cluster_model(new_cluster, problem, oracle)
+        result.predictions = morer.repository.entries[
+            result.cluster_id
+        ].predict(problem.features)
+        return result
+
+    entry = _max_overlap_entry(morer.repository, new_cluster)
+    coverage = _coverage(morer, new_cluster, untrained)  # Eq. 13
+    retrained = False
+    labels_spent = 0
+    if coverage > morer.config.t_cov and untrained:
+        labels_spent = morer._update_entry(
+            entry, new_cluster, untrained, coverage, oracle
+        )
+        retrained = labels_spent > 0
+    # Keep the repository's cluster assignment in sync with G_P.
+    _reassign_cluster(morer.repository, entry, new_cluster)
+    predictions = entry.predict(problem.features)
+    return SolveResult(
+        predictions=predictions,
+        cluster_id=entry.cluster_id,
+        retrained=retrained,
+        labels_spent=labels_spent,
+        coverage=coverage,
+    )
+
+
+def _coverage(morer, cluster, untrained):
+    """Eq. 13: fraction of the cluster's vectors from untrained problems."""
+    total = sum(
+        morer.problem_graph.problem(k).n_pairs for k in cluster
+    )
+    if total == 0:
+        return 0.0
+    uncovered = sum(
+        morer.problem_graph.problem(k).n_pairs for k in untrained
+    )
+    return uncovered / total
+
+
+def _max_overlap_entry(repository, cluster):
+    """Entry whose previous cluster overlaps the new cluster the most."""
+    best_entry = None
+    best_overlap = -1
+    for entry in repository.entries.values():
+        overlap = len(entry.problem_keys & cluster)
+        if overlap > best_overlap:
+            best_overlap = overlap
+            best_entry = entry
+    if best_entry is None:
+        raise LookupError("repository has no entries")
+    return best_entry
+
+
+def _reassign_cluster(repository, entry, cluster):
+    """Assign ``cluster`` to ``entry`` and steal its keys from others."""
+    for other in repository.entries.values():
+        if other is not entry:
+            other.problem_keys -= cluster
+    entry.problem_keys = set(cluster)

@@ -1,0 +1,54 @@
+"""Synthetic multi-source ER corpora replaying the paper's benchmarks.
+
+``load_benchmark("dexter" | "wdc-computer" | "music")`` is the main
+entry point; see DESIGN.md §2 for the substitution rationale.
+"""
+
+from .camera import CAMERA_ATTRIBUTES, camera_schema, generate_camera_dataset
+from .computer import (
+    COMPUTER_ATTRIBUTES,
+    computer_schema,
+    generate_computer_dataset,
+)
+from .corruption import CorruptionProfile, Corruptor
+from .generator import ARCHETYPES, SourceSpec, generate_multisource
+from .loaders import (
+    BENCHMARKS,
+    ProblemSplit,
+    build_er_problems,
+    load_benchmark,
+    pairs_for_problem,
+    record_index,
+    split_problem_vectors,
+    split_problems,
+)
+from .music import MUSIC_ATTRIBUTES, generate_music_dataset, music_schema
+from .schema import DataSource, MultiSourceDataset, Record
+
+__all__ = [
+    "Record",
+    "DataSource",
+    "MultiSourceDataset",
+    "CorruptionProfile",
+    "Corruptor",
+    "SourceSpec",
+    "generate_multisource",
+    "ARCHETYPES",
+    "generate_camera_dataset",
+    "camera_schema",
+    "CAMERA_ATTRIBUTES",
+    "generate_computer_dataset",
+    "computer_schema",
+    "COMPUTER_ATTRIBUTES",
+    "generate_music_dataset",
+    "music_schema",
+    "MUSIC_ATTRIBUTES",
+    "build_er_problems",
+    "split_problems",
+    "split_problem_vectors",
+    "load_benchmark",
+    "record_index",
+    "pairs_for_problem",
+    "ProblemSplit",
+    "BENCHMARKS",
+]

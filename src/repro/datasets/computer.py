@@ -1,0 +1,94 @@
+"""WDC-computer-like corpus (4 sources, product matching).
+
+The WDC computer subset used in the Almser study has four web sources
+with noisy, vendor-formatted product offers. It is the paper's
+*impure / small* workload: fewer ER problems (12 after train/test
+splitting) with strongly heterogeneous title formats.
+"""
+
+from __future__ import annotations
+
+from ..ml.utils import check_random_state
+from ..similarity.vectorize import ComparisonSchema, FeatureSpec
+from .generator import SourceSpec, assign_archetypes, generate_multisource
+
+__all__ = ["generate_computer_dataset", "computer_schema",
+           "COMPUTER_ATTRIBUTES"]
+
+COMPUTER_ATTRIBUTES = ["title", "brand", "cpu", "ram", "storage", "price"]
+
+_BRANDS = ["lenovo", "hp", "dell", "asus", "acer", "msi", "apple", "toshiba"]
+_LINES = ["thinkpad", "pavilion", "inspiron", "zenbook", "aspire", "katana",
+          "macbook", "satellite", "ideapad", "latitude", "vivobook"]
+_CPUS = ["i3", "i5", "i7", "i9", "ryzen 3", "ryzen 5", "ryzen 7", "m1", "m2"]
+
+
+def _make_entities(n_entities, rng):
+    entities = []
+    for _ in range(n_entities):
+        brand = _BRANDS[int(rng.integers(0, len(_BRANDS)))]
+        line = _LINES[int(rng.integers(0, len(_LINES)))]
+        cpu = _CPUS[int(rng.integers(0, len(_CPUS)))]
+        cpu_gen = int(rng.integers(4, 14))
+        cpu_full = f"{cpu}-{cpu_gen}{int(rng.integers(100, 999))}u"
+        ram = int(2 ** rng.integers(2, 7))  # 4..64 GB
+        storage = int(rng.choice([128, 256, 512, 1024, 2048]))
+        model_number = f"{line[:2]}{int(rng.integers(100, 999))}"
+        price = round(float(rng.uniform(250, 3500)), 2)
+        title = (
+            f"{brand} {line} {model_number} laptop {cpu_full} "
+            f"{ram}gb ram {storage}gb ssd"
+        )
+        entities.append(
+            {
+                "title": title,
+                "brand": brand,
+                "cpu": cpu_full,
+                "ram": float(ram),
+                "storage": float(storage),
+                "price": price,
+            }
+        )
+    return entities
+
+
+def generate_computer_dataset(n_entities=180, n_sources=4, random_state=1):
+    """Generate the WDC-computer-like corpus (4 web sources by default)."""
+    rng = check_random_state(random_state)
+    entities = _make_entities(n_entities, rng)
+    profiles = assign_archetypes(
+        n_sources, ["clean", "messy", "abbreviating", "messy"], rng,
+        jitter=0.4,
+    )
+    specs = [
+        SourceSpec(
+            source_id=f"wdc{index}",
+            profile=profiles[index],
+            coverage=float(rng.uniform(0.5, 0.8)),
+            duplicate_rate=0.0,
+        )
+        for index in range(n_sources)
+    ]
+    return generate_multisource(
+        "wdc-computer",
+        entities,
+        specs,
+        COMPUTER_ATTRIBUTES,
+        allow_intra_source=False,
+        random_state=rng,
+    )
+
+
+def computer_schema():
+    """Comparison schema used by all computer ER problems."""
+    return ComparisonSchema(
+        [
+            FeatureSpec("title", "jaccard"),
+            FeatureSpec("title", "qgram_jaccard"),
+            FeatureSpec("brand", "jaro_winkler"),
+            FeatureSpec("cpu", "levenshtein"),
+            FeatureSpec("ram", "numeric"),
+            FeatureSpec("storage", "numeric"),
+            FeatureSpec("price", "relative"),
+        ]
+    )

@@ -1,0 +1,120 @@
+"""Record / data source / multi-source dataset containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Record", "DataSource", "MultiSourceDataset"]
+
+
+@dataclass
+class Record:
+    """One record of a data source.
+
+    ``entity_id`` is the hidden ground-truth entity the record describes;
+    it is used only to derive match labels and never exposed to methods
+    as a feature.
+    """
+
+    record_id: str
+    source_id: str
+    entity_id: str
+    attributes: dict = field(default_factory=dict)
+
+    def get(self, key, default=None):
+        """Attribute access with a default (dict-like)."""
+        return self.attributes.get(key, default)
+
+    def __getitem__(self, key):
+        return self.attributes[key]
+
+    def __contains__(self, key):
+        return key in self.attributes
+
+    def keys(self):
+        """Attribute names present on this record."""
+        return self.attributes.keys()
+
+
+@dataclass
+class DataSource:
+    """A named collection of records."""
+
+    source_id: str
+    records: list = field(default_factory=list)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def entity_ids(self):
+        """Set of ground-truth entities present in this source."""
+        return {record.entity_id for record in self.records}
+
+
+class MultiSourceDataset:
+    """A set of data sources over a shared hidden entity population.
+
+    Parameters
+    ----------
+    name : str
+        Dataset label (e.g. ``"dexter"``).
+    sources : list of DataSource
+    attributes : list of str
+        The common attribute names records may carry.
+    allow_intra_source : bool
+        Whether same-source ER problems make sense (sources contain
+        duplicates, as in the Dexter dataset).
+    """
+
+    def __init__(self, name, sources, attributes, allow_intra_source=False):
+        self.name = name
+        self.sources = list(sources)
+        self.attributes = list(attributes)
+        self.allow_intra_source = allow_intra_source
+        ids = [source.source_id for source in self.sources]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate source ids")
+
+    def __len__(self):
+        return len(self.sources)
+
+    def source(self, source_id):
+        """Look a source up by id."""
+        for candidate in self.sources:
+            if candidate.source_id == source_id:
+                return candidate
+        raise KeyError(f"no source {source_id!r} in dataset {self.name!r}")
+
+    def source_pairs(self):
+        """All ER task source pairs, including same-source when allowed."""
+        ids = [source.source_id for source in self.sources]
+        pairs = []
+        for i in range(len(ids)):
+            start = i if self.allow_intra_source else i + 1
+            for j in range(start, len(ids)):
+                pairs.append((ids[i], ids[j]))
+        return pairs
+
+    def is_match(self, record_a, record_b):
+        """Ground truth: do two records describe the same entity?"""
+        return record_a.entity_id == record_b.entity_id
+
+    def statistics(self):
+        """Summary dict (records per source, totals, entity counts)."""
+        n_records = sum(len(source) for source in self.sources)
+        entities = set()
+        for source in self.sources:
+            entities |= source.entity_ids()
+        return {
+            "name": self.name,
+            "n_sources": len(self.sources),
+            "n_records": n_records,
+            "n_entities": len(entities),
+            "n_source_pairs": len(self.source_pairs()),
+            "records_per_source": {
+                source.source_id: len(source) for source in self.sources
+            },
+        }

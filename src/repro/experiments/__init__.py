@@ -1,0 +1,41 @@
+"""Experiment drivers regenerating every table and figure of §5."""
+
+from .harness import (
+    MethodResult,
+    concat_predictions,
+    evaluate_almser_standalone,
+    evaluate_lm_baseline,
+    evaluate_morer,
+    evaluate_transer,
+    subsample_problems,
+)
+from .reporting import format_prf, format_table, rows_to_csv
+from .table2 import run_table2
+from .table4 import run_table4
+from .table5 import run_table5, speedup_rows
+from .fig2 import heterogeneity_score, run_fig2
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+
+__all__ = [
+    "MethodResult",
+    "evaluate_morer",
+    "evaluate_almser_standalone",
+    "evaluate_transer",
+    "evaluate_lm_baseline",
+    "subsample_problems",
+    "concat_predictions",
+    "run_table2",
+    "run_table4",
+    "run_table5",
+    "speedup_rows",
+    "run_fig2",
+    "heterogeneity_score",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "format_table",
+    "format_prf",
+    "rows_to_csv",
+]

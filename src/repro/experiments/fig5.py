@@ -1,0 +1,118 @@
+"""Fig. 5: runtime comparison with analysis/clustering + selection overlay.
+
+For each dataset and budget the total runtime of every method is
+reported; for MoRER variants the time is decomposed into the
+statistical-analysis/clustering share and the model-selection share,
+the quantities the shaded areas of the paper's figure show.
+"""
+
+from __future__ import annotations
+
+from ..datasets import load_benchmark
+from .harness import (
+    evaluate_almser_standalone,
+    evaluate_lm_baseline,
+    evaluate_morer,
+    evaluate_transer,
+)
+from .reporting import format_table
+
+__all__ = ["run_fig5"]
+
+
+def run_fig5(datasets=("dexter", "wdc-computer", "music"), budgets=(100, 150),
+             scale=0.25, include_lm=True, random_state=0):
+    """Return rows: dataset, budget, method, total, analysis+clustering,
+    selection (search) seconds."""
+    rows = []
+    for name in datasets:
+        dataset, _, split = load_benchmark(
+            name, scale=scale, random_state=random_state
+        )
+        for budget in budgets:
+            for al in ("bootstrap", "almser"):
+                result = evaluate_morer(
+                    name, split, budget=budget, al_method=al,
+                    random_state=random_state,
+                )
+                timings = result.extra["timings"]
+                rows.append({
+                    "dataset": name, "budget": budget,
+                    "method": result.method,
+                    "total_s": result.runtime_seconds,
+                    "analysis_clustering_s": timings["analysis"]
+                    + timings["clustering"],
+                    "selection_s": timings["search"],
+                })
+            result = evaluate_almser_standalone(
+                name, split, budget, random_state=random_state
+            )
+            rows.append({
+                "dataset": name, "budget": budget, "method": "almser",
+                "total_s": result.runtime_seconds,
+                "analysis_clustering_s": 0.0, "selection_s": 0.0,
+            })
+            if include_lm:
+                for lm, kwargs in (
+                    ("sudowoodo", {"budget": budget}),
+                    ("anymatch", {"budget": budget}),
+                ):
+                    result = evaluate_lm_baseline(
+                        lm, name, dataset, split,
+                        random_state=random_state, epochs=3, **kwargs,
+                    )
+                    rows.append({
+                        "dataset": name, "budget": budget, "method": lm,
+                        "total_s": result.runtime_seconds,
+                        "analysis_clustering_s": 0.0, "selection_s": 0.0,
+                    })
+        result = evaluate_morer(
+            name, split, supervised_fraction=0.5, random_state=random_state
+        )
+        timings = result.extra["timings"]
+        rows.append({
+            "dataset": name, "budget": "50%", "method": result.method,
+            "total_s": result.runtime_seconds,
+            "analysis_clustering_s": timings["analysis"]
+            + timings["clustering"],
+            "selection_s": timings["search"],
+        })
+        result = evaluate_transer(
+            name, split, fraction=0.5, random_state=random_state
+        )
+        rows.append({
+            "dataset": name, "budget": "50%", "method": "transer",
+            "total_s": result.runtime_seconds,
+            "analysis_clustering_s": 0.0, "selection_s": 0.0,
+        })
+        if include_lm:
+            for lm in ("ditto", "unicorn"):
+                result = evaluate_lm_baseline(
+                    lm, name, dataset, split, fraction=0.5,
+                    random_state=random_state, epochs=3,
+                )
+                rows.append({
+                    "dataset": name, "budget": "50%", "method": lm,
+                    "total_s": result.runtime_seconds,
+                    "analysis_clustering_s": 0.0, "selection_s": 0.0,
+                })
+    return rows
+
+
+def main(scale=0.25, include_lm=True):
+    """Print the Fig. 5 runtime decomposition."""
+    rows = run_fig5(scale=scale, include_lm=include_lm)
+    headers = ["Dataset", "Budget", "Method", "Total (s)",
+               "Analysis+Clustering (s)", "Selection (s)"]
+    table_rows = [
+        [r["dataset"], r["budget"], r["method"], f"{r['total_s']:.2f}",
+         f"{r['analysis_clustering_s']:.2f}", f"{r['selection_s']:.3f}"]
+        for r in rows
+    ]
+    print(format_table(headers, table_rows,
+                       title="Fig. 5: runtime comparison"))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Fig. 6: F1 by distribution test (KS / WD / PSI / C2ST) × AL method.
+
+The paper plots grouped bars per dataset, budget in {1000, 1500, 2000};
+this driver sweeps the same grid at scaled budgets.
+"""
+
+from __future__ import annotations
+
+from ..datasets import load_benchmark
+from .harness import evaluate_morer
+from .reporting import format_table
+
+__all__ = ["run_fig6", "TESTS"]
+
+TESTS = ("ks", "wd", "psi", "c2st")
+
+
+def run_fig6(datasets=("dexter", "wdc-computer", "music"),
+             budgets=(100, 150, 200), tests=TESTS,
+             al_methods=("bootstrap", "almser"), scale=0.25,
+             random_state=0):
+    """Sweep distribution test × AL method × budget; returns result rows."""
+    rows = []
+    for name in datasets:
+        _, _, split = load_benchmark(
+            name, scale=scale, random_state=random_state
+        )
+        for budget in budgets:
+            for al in al_methods:
+                for test in tests:
+                    result = evaluate_morer(
+                        name, split, budget=budget, al_method=al,
+                        distribution_test=test, random_state=random_state,
+                    )
+                    rows.append({
+                        "dataset": name, "budget": budget, "al": al,
+                        "test": test, "f1": result.f1,
+                        "precision": result.precision,
+                        "recall": result.recall,
+                        "n_clusters": result.extra["n_clusters"],
+                    })
+    return rows
+
+
+def main(scale=0.25, budgets=(100,)):
+    """Print the Fig. 6 grid."""
+    rows = run_fig6(scale=scale, budgets=budgets)
+    headers = ["Dataset", "Budget", "AL", "Test", "F1", "#Clusters"]
+    table_rows = [
+        [r["dataset"], r["budget"], r["al"], r["test"], f"{r['f1']:.3f}",
+         r["n_clusters"]]
+        for r in rows
+    ]
+    print(format_table(headers, table_rows,
+                       title="Fig. 6: distribution test comparison"))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""ASCII tables and CSV output for the experiment drivers."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+__all__ = ["format_table", "rows_to_csv", "format_prf"]
+
+
+def format_prf(precision, recall, f1):
+    """The paper's ``P/R/F1`` cell format."""
+    return f"{precision:.2f}/{recall:.2f}/{f1:.2f}"
+
+
+def format_table(headers, rows, title=None):
+    """Monospace table with padded columns."""
+    columns = [str(h) for h in headers]
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(columns, widths)))
+    lines.append(separator)
+    for row in string_rows:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def rows_to_csv(headers, rows):
+    """Render rows as a CSV string (for saving bench artefacts)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()

@@ -1,0 +1,43 @@
+"""Table 2: dataset statistics (# ER problems, # record pairs, # matches)."""
+
+from __future__ import annotations
+
+from ..datasets import load_benchmark
+from .reporting import format_table
+
+__all__ = ["run_table2", "DATASETS"]
+
+DATASETS = ("dexter", "wdc-computer", "music")
+
+
+def run_table2(scale=0.5, random_state=0):
+    """Regenerate Table 2 for the scaled-down corpora.
+
+    Returns ``(headers, rows)``; each row mirrors the paper's columns
+    (name, #ER problems, #record pairs, #matches) plus the match ratio
+    for easy comparison with the original proportions.
+    """
+    headers = ["Name", "# ER problems", "# Record pairs", "# Matches",
+               "Match ratio"]
+    rows = []
+    for name in DATASETS:
+        _, _, split = load_benchmark(name, scale=scale,
+                                     random_state=random_state)
+        problems = split.initial + split.unsolved
+        n_pairs = sum(p.n_pairs for p in problems)
+        n_matches = sum(p.n_matches for p in problems)
+        rows.append(
+            [name, len(problems), n_pairs, n_matches,
+             f"{n_matches / n_pairs:.2%}"]
+        )
+    return headers, rows
+
+
+def main(scale=0.5):
+    """Print Table 2."""
+    headers, rows = run_table2(scale=scale)
+    print(format_table(headers, rows, title="Table 2: dataset statistics"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Table 4: linkage quality of all methods across datasets and budgets.
+
+Budget-limited block: MoRER+Almser, MoRER+Bootstrap, Almser standalone,
+Sudowoodo, AnyMatch at three budgets. Supervised block: MoRER
+(supervised), Ditto, Unicorn, TransER at 50% / all of the training
+vectors.
+"""
+
+from __future__ import annotations
+
+from ..datasets import load_benchmark
+from .harness import (
+    evaluate_almser_standalone,
+    evaluate_lm_baseline,
+    evaluate_morer,
+    evaluate_transer,
+)
+from .reporting import format_prf, format_table
+
+__all__ = ["run_table4", "DEFAULT_BUDGETS"]
+
+#: Scaled stand-ins for the paper's 1000/1500/2000 label budgets.
+DEFAULT_BUDGETS = (100, 150, 200)
+
+
+def run_table4(datasets=("dexter", "wdc-computer", "music"),
+               budgets=DEFAULT_BUDGETS, fractions=(0.5, 1.0), scale=0.3,
+               include_lm=True, lm_epochs=4, random_state=0):
+    """Run the full Table 4 grid; returns a list of MethodResult."""
+    results = []
+    for name in datasets:
+        dataset, _, split = load_benchmark(
+            name, scale=scale, random_state=random_state
+        )
+        for budget in budgets:
+            results.append(evaluate_morer(
+                name, split, budget=budget, al_method="almser",
+                random_state=random_state,
+            ))
+            results.append(evaluate_morer(
+                name, split, budget=budget, al_method="bootstrap",
+                random_state=random_state,
+            ))
+            results.append(evaluate_almser_standalone(
+                name, split, budget, random_state=random_state,
+            ))
+            if include_lm:
+                results.append(evaluate_lm_baseline(
+                    "sudowoodo", name, dataset, split, budget=budget,
+                    random_state=random_state, epochs=lm_epochs,
+                ))
+                results.append(evaluate_lm_baseline(
+                    "anymatch", name, dataset, split, budget=budget,
+                    random_state=random_state, epochs=lm_epochs,
+                ))
+        for fraction in fractions:
+            results.append(evaluate_morer(
+                name, split, supervised_fraction=fraction,
+                random_state=random_state,
+            ))
+            results.append(evaluate_transer(
+                name, split, fraction=fraction, random_state=random_state,
+            ))
+            if include_lm:
+                results.append(evaluate_lm_baseline(
+                    "ditto", name, dataset, split, fraction=fraction,
+                    random_state=random_state, epochs=lm_epochs,
+                ))
+                results.append(evaluate_lm_baseline(
+                    "unicorn", name, dataset, split, fraction=fraction,
+                    random_state=random_state, epochs=lm_epochs,
+                ))
+    return results
+
+
+def results_to_rows(results):
+    """``(headers, rows)`` in the paper's layout (method × budget)."""
+    headers = ["Dataset", "Budget", "Method", "P/R/F1", "Runtime (s)",
+               "Labels"]
+    rows = []
+    for r in results:
+        rows.append([
+            r.dataset, r.budget, r.method,
+            format_prf(r.precision, r.recall, r.f1),
+            f"{r.runtime_seconds:.1f}", r.labels_used,
+        ])
+    return headers, rows
+
+
+def main(scale=0.3, include_lm=True):
+    """Print Table 4."""
+    results = run_table4(scale=scale, include_lm=include_lm)
+    headers, rows = results_to_rows(results)
+    print(format_table(headers, rows, title="Table 4: linkage quality"))
+    return results
+
+
+if __name__ == "__main__":
+    main()

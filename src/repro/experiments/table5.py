@@ -1,0 +1,88 @@
+"""Table 5: speedup factors of MoRER over the baselines.
+
+Speedups are runtime ratios ``baseline / MoRER-variant`` computed from
+the same runs that feed Table 4 — the paper's Table 5 summarises Fig. 5
+the same way.
+"""
+
+from __future__ import annotations
+
+from .reporting import format_table
+
+__all__ = ["run_table5", "speedup_rows"]
+
+
+def run_table5(results):
+    """Compute speedup factors from Table 4 results.
+
+    Returns a nested dict
+    ``{morer_variant: {dataset: {budget: {baseline: factor}}}}``.
+    """
+    runtimes = {}
+    for r in results:
+        runtimes.setdefault(r.dataset, {}).setdefault(
+            str(r.budget), {}
+        )[r.method] = r.runtime_seconds
+
+    speedups = {}
+    for variant in ("morer+almser", "morer+bootstrap", "morer-supervised"):
+        per_dataset = {}
+        for dataset, by_budget in runtimes.items():
+            per_budget = {}
+            # MoRER AL variants exist per numeric budget; the supervised
+            # variant per fraction. Compare every baseline in the same
+            # budget cell; cross-cell comparisons (e.g. Ditto@all vs
+            # MoRER@1000) use the variant's fastest run, as the paper's
+            # Table 5 columns do.
+            variant_times = [
+                cells[variant]
+                for cells in by_budget.values()
+                if variant in cells
+            ]
+            if not variant_times:
+                continue
+            fallback = min(variant_times)
+            for budget, cells in by_budget.items():
+                base_time = cells.get(variant, fallback)
+                factors = {}
+                for method, runtime in cells.items():
+                    if method.startswith("morer"):
+                        continue
+                    factors[method] = runtime / base_time if base_time else 0.0
+                if factors:
+                    per_budget[budget] = factors
+            if per_budget:
+                per_dataset[dataset] = per_budget
+        speedups[variant] = per_dataset
+    return speedups
+
+
+def speedup_rows(speedups):
+    """Flatten the nested speedup dict into printable rows."""
+    headers = ["MoRER variant", "Dataset", "Budget", "Baseline", "Speedup"]
+    rows = []
+    for variant, per_dataset in speedups.items():
+        for dataset, per_budget in per_dataset.items():
+            for budget, factors in per_budget.items():
+                for baseline, factor in sorted(factors.items()):
+                    rows.append(
+                        [variant, dataset, budget, baseline, f"{factor:.1f}x"]
+                    )
+    return headers, rows
+
+
+def main(scale=0.3):
+    """Run a compact Table 4 grid and print the derived Table 5."""
+    from .table4 import run_table4
+
+    results = run_table4(
+        budgets=(100,), fractions=(0.5,), scale=scale, include_lm=True,
+    )
+    speedups = run_table5(results)
+    headers, rows = speedup_rows(speedups)
+    print(format_table(headers, rows, title="Table 5: speedup factors"))
+    return speedups
+
+
+if __name__ == "__main__":
+    main()

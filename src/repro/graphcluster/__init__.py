@@ -1,0 +1,56 @@
+"""Graph clustering substrate.
+
+Provides the weighted graph plus the community-detection algorithms the
+paper relies on (§4.3): **Leiden** as the default, with Louvain, label
+propagation and Girvan–Newman as the pre-experiment alternatives, and
+the components / min-cut machinery Almser's graph signals need.
+"""
+
+from .components import (
+    UnionFind,
+    bridges,
+    component_of,
+    connected_components,
+    transitive_closure_pairs,
+)
+from .girvan_newman import edge_betweenness, girvan_newman
+from .graph import Graph
+from .label_propagation import label_propagation
+from .leiden import leiden
+from .louvain import louvain
+from .mincut import min_cut_edges, stoer_wagner
+from .quality import (
+    communities_from_partition,
+    cpm_quality,
+    modularity,
+    partition_from_communities,
+)
+
+#: Algorithm name -> callable registry; MoRER's config selects by name.
+CLUSTERING_ALGORITHMS = {
+    "leiden": leiden,
+    "louvain": louvain,
+    "label_propagation": label_propagation,
+    "girvan_newman": girvan_newman,
+}
+
+__all__ = [
+    "Graph",
+    "leiden",
+    "louvain",
+    "label_propagation",
+    "girvan_newman",
+    "edge_betweenness",
+    "modularity",
+    "cpm_quality",
+    "partition_from_communities",
+    "communities_from_partition",
+    "connected_components",
+    "component_of",
+    "transitive_closure_pairs",
+    "bridges",
+    "UnionFind",
+    "stoer_wagner",
+    "min_cut_edges",
+    "CLUSTERING_ALGORITHMS",
+]

@@ -1,0 +1,159 @@
+"""Connected components, transitive closure and bridges.
+
+Almser's graph signals (§3, §4.4) are built from these primitives: the
+transitive closure of predicted matches exposes likely false negatives,
+and bridge edges / small cuts expose likely false positives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = [
+    "connected_components",
+    "component_of",
+    "transitive_closure_pairs",
+    "bridges",
+    "UnionFind",
+]
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self, items=()):
+        self._parent = {}
+        self._size = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item):
+        """Register ``item`` as its own singleton set (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item):
+        """Return the canonical representative of ``item``'s set."""
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a, b):
+        """Merge the sets of ``a`` and ``b``; returns the new root."""
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a, b):
+        """True when ``a`` and ``b`` are in the same set."""
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self.find(a) == self.find(b)
+
+    def groups(self):
+        """Return the sets as a list of Python sets."""
+        by_root = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return list(by_root.values())
+
+
+def connected_components(graph):
+    """List of node sets, one per connected component."""
+    seen = set()
+    components = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = set()
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            component.add(node)
+            for neighbour in graph.neighbors(node):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        components.append(component)
+    return components
+
+
+def component_of(graph):
+    """Return a ``node -> component index`` map."""
+    mapping = {}
+    for index, component in enumerate(connected_components(graph)):
+        for node in component:
+            mapping[node] = index
+    return mapping
+
+
+def transitive_closure_pairs(graph, max_component_size=None):
+    """Yield all unordered node pairs connected by any path.
+
+    Almser uses these to flag record pairs classified as non-matches that
+    the match graph nevertheless connects (candidate false negatives).
+    ``max_component_size`` skips huge components whose quadratic pair
+    expansion would be wasteful.
+    """
+    for component in connected_components(graph):
+        if max_component_size is not None and len(component) > max_component_size:
+            continue
+        members = sorted(component, key=repr)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                yield members[i], members[j]
+
+
+def bridges(graph):
+    """Set of bridge edges (as frozensets) via Tarjan's DFS low-link.
+
+    A predicted match edge that is a bridge between otherwise dense
+    subgraphs is a strong false-positive signal for Almser.
+    """
+    index = {}
+    low = {}
+    result = set()
+    counter = [0]
+
+    for root in graph.nodes():
+        if root in index:
+            continue
+        # Iterative DFS (graphs can be deep chains).
+        stack = [(root, None, iter(graph.neighbors(root)))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        while stack:
+            node, parent, neighbours = stack[-1]
+            advanced = False
+            for neighbour in neighbours:
+                if neighbour == node:
+                    continue
+                if neighbour not in index:
+                    index[neighbour] = low[neighbour] = counter[0]
+                    counter[0] += 1
+                    stack.append(
+                        (neighbour, node, iter(graph.neighbors(neighbour)))
+                    )
+                    advanced = True
+                    break
+                if neighbour != parent:
+                    low[node] = min(low[node], index[neighbour])
+            if not advanced:
+                stack.pop()
+                if parent is not None:
+                    low[parent] = min(low[parent], low[node])
+                    if low[node] > index[parent]:
+                        result.add(frozenset((parent, node)))
+    return result

@@ -1,0 +1,84 @@
+"""Girvan–Newman divisive community detection (2002).
+
+Removes the highest edge-betweenness edge until the modularity-optimal
+split is reached. Cubic-ish, so only suitable for the small ER problem
+graphs it is benchmarked on (the paper reached the same conclusion and
+chose Leiden).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .components import connected_components
+from .quality import modularity
+
+__all__ = ["girvan_newman", "edge_betweenness"]
+
+
+def edge_betweenness(graph):
+    """Unweighted shortest-path edge betweenness (Brandes' algorithm)."""
+    betweenness = {}
+    for u, v, _ in graph.edges():
+        betweenness[frozenset((u, v))] = 0.0
+
+    for source in graph.nodes():
+        # BFS from `source`.
+        distance = {source: 0}
+        sigma = {source: 1.0}
+        predecessors = {source: []}
+        order = []
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for neighbour in graph.neighbors(node):
+                if neighbour == node:
+                    continue
+                if neighbour not in distance:
+                    distance[neighbour] = distance[node] + 1
+                    sigma[neighbour] = 0.0
+                    predecessors[neighbour] = []
+                    queue.append(neighbour)
+                if distance[neighbour] == distance[node] + 1:
+                    sigma[neighbour] += sigma[node]
+                    predecessors[neighbour].append(node)
+        # Accumulation.
+        delta = {node: 0.0 for node in order}
+        for node in reversed(order):
+            for predecessor in predecessors[node]:
+                share = sigma[predecessor] / sigma[node] * (1 + delta[node])
+                betweenness[frozenset((predecessor, node))] += share
+                delta[predecessor] += share
+    # Each undirected edge was counted from both endpoints' BFS trees.
+    return {edge: value / 2.0 for edge, value in betweenness.items()}
+
+
+def girvan_newman(graph, max_communities=None):
+    """Divisive clustering; returns the best-modularity community list.
+
+    Parameters
+    ----------
+    graph : repro.graphcluster.Graph
+    max_communities : int, optional
+        Stop splitting once this many components exist; by default the
+        dendrogram is explored fully and the best modularity level wins.
+    """
+    working = graph.copy()
+    best_partition = connected_components(working)
+    best_q = modularity(graph, best_partition)
+    while working.number_of_edges() > 0:
+        betweenness = edge_betweenness(working)
+        worst = max(betweenness, key=betweenness.get)
+        u, v = tuple(worst) if len(worst) == 2 else (next(iter(worst)),) * 2
+        working.remove_edge(u, v)
+        components = connected_components(working)
+        q = modularity(graph, components)
+        if q > best_q:
+            best_q = q
+            best_partition = components
+        if max_communities is not None and len(components) >= max_communities:
+            if len(best_partition) < max_communities:
+                best_partition = components
+            break
+    return best_partition

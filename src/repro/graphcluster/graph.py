@@ -1,0 +1,163 @@
+"""Lightweight weighted undirected graph.
+
+The ER problem similarity graph :math:`G_P` (§4.3) and the record match
+graphs used by Almser are both instances of this structure. It is a thin
+adjacency-dict graph tuned for the operations community detection needs:
+neighbour iteration, strengths, subgraphs and aggregation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Undirected graph with float edge weights and hashable node ids.
+
+    Self-loops are allowed (they appear in aggregated community graphs);
+    a self-loop of weight *w* contributes *2 w* to the node strength, the
+    usual convention for modularity computations.
+    """
+
+    def __init__(self):
+        self._adj = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node):
+        """Add ``node`` if not present."""
+        if node not in self._adj:
+            self._adj[node] = {}
+
+    def add_edge(self, u, v, weight=1.0):
+        """Add or overwrite the edge ``{u, v}`` with ``weight``."""
+        if weight < 0:
+            raise ValueError("edge weights must be non-negative")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u][v] = float(weight)
+        self._adj[v][u] = float(weight)
+
+    def increment_edge(self, u, v, weight=1.0):
+        """Add ``weight`` to the edge ``{u, v}``, creating it if missing."""
+        self.add_node(u)
+        self.add_node(v)
+        new_weight = self._adj[u].get(v, 0.0) + float(weight)
+        self._adj[u][v] = new_weight
+        self._adj[v][u] = new_weight
+
+    def remove_edge(self, u, v):
+        """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
+        del self._adj[u][v]
+        if u != v:
+            del self._adj[v][u]
+
+    def remove_node(self, node):
+        """Remove ``node`` and all incident edges."""
+        for neighbour in list(self._adj[node]):
+            if neighbour != node:
+                del self._adj[neighbour][node]
+        del self._adj[node]
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, node):
+        return node in self._adj
+
+    def __len__(self):
+        return len(self._adj)
+
+    def nodes(self):
+        """Iterate over node ids."""
+        return iter(self._adj)
+
+    def has_edge(self, u, v):
+        """True when the edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def edge_weight(self, u, v, default=0.0):
+        """Weight of ``{u, v}`` or ``default``."""
+        return self._adj.get(u, {}).get(v, default)
+
+    def neighbors(self, node):
+        """Mapping ``neighbour -> weight`` (includes a self-loop if any)."""
+        return self._adj[node]
+
+    def degree(self, node):
+        """Number of incident edges (self-loop counts once)."""
+        return len(self._adj[node])
+
+    def strength(self, node):
+        """Weighted degree; self-loops count twice."""
+        total = 0.0
+        for neighbour, weight in self._adj[node].items():
+            total += 2 * weight if neighbour == node else weight
+        return total
+
+    def edges(self):
+        """Yield ``(u, v, weight)`` once per undirected edge."""
+        seen = set()
+        for u, adjacency in self._adj.items():
+            for v, weight in adjacency.items():
+                # Canonical frozenset key: node ids may not be orderable.
+                key = frozenset((u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield u, v, weight
+
+    def number_of_edges(self):
+        """Count of undirected edges (self-loops count once)."""
+        return sum(1 for _ in self.edges())
+
+    def total_weight(self):
+        """Sum of edge weights ``m`` (self-loops counted once)."""
+        return sum(w for _, _, w in self.edges())
+
+    # -- derivations ---------------------------------------------------------
+
+    def copy(self):
+        """Deep copy of the structure (nodes are shared, weights copied)."""
+        g = Graph()
+        g._adj = {u: dict(adj) for u, adj in self._adj.items()}
+        return g
+
+    def subgraph(self, nodes):
+        """Induced subgraph over ``nodes``."""
+        keep = set(nodes)
+        g = Graph()
+        for u in keep:
+            if u not in self._adj:
+                raise KeyError(f"node {u!r} not in graph")
+            g.add_node(u)
+        for u in keep:
+            for v, weight in self._adj[u].items():
+                if v in keep:
+                    g._adj[u][v] = weight
+        return g
+
+    def aggregate(self, partition):
+        """Quotient graph over ``partition`` (a ``node -> community`` map).
+
+        Edge weights between communities are summed; intra-community
+        weights become self-loops. Returns the aggregated :class:`Graph`
+        whose nodes are the community labels.
+        """
+        g = Graph()
+        for node in self._adj:
+            g.add_node(partition[node])
+        for u, v, weight in self.edges():
+            cu, cv = partition[u], partition[v]
+            g.increment_edge(cu, cv, weight)
+        return g
+
+    @classmethod
+    def from_edges(cls, edges):
+        """Build a graph from ``(u, v)`` or ``(u, v, weight)`` tuples."""
+        g = cls()
+        for edge in edges:
+            if len(edge) == 2:
+                g.add_edge(edge[0], edge[1], 1.0)
+            else:
+                g.add_edge(edge[0], edge[1], edge[2])
+        return g

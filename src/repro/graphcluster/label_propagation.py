@@ -1,0 +1,53 @@
+"""Label propagation community detection (Raghavan et al. 2007).
+
+One of the clustering alternatives the paper evaluated in pre-experiments
+(§4.1); kept for the clustering ablation bench.
+"""
+
+from __future__ import annotations
+
+from ..ml.utils import check_random_state
+
+__all__ = ["label_propagation"]
+
+
+def label_propagation(graph, random_state=None, max_iterations=100):
+    """Weighted asynchronous label propagation.
+
+    Every node repeatedly adopts the label with the largest incident
+    weight among its neighbours (ties broken randomly). Returns a list of
+    node-set communities.
+    """
+    rng = check_random_state(random_state)
+    labels = {node: i for i, node in enumerate(graph.nodes())}
+    nodes = list(graph.nodes())
+    for _ in range(max_iterations):
+        rng.shuffle(nodes)
+        changed = False
+        for node in nodes:
+            weight_per_label = {}
+            for neighbour, weight in graph.neighbors(node).items():
+                if neighbour == node:
+                    continue
+                label = labels[neighbour]
+                weight_per_label[label] = (
+                    weight_per_label.get(label, 0.0) + weight
+                )
+            if not weight_per_label:
+                continue
+            top = max(weight_per_label.values())
+            best = [
+                label
+                for label, weight in weight_per_label.items()
+                if weight >= top - 1e-12
+            ]
+            new_label = best[int(rng.integers(0, len(best)))]
+            if new_label != labels[node]:
+                labels[node] = new_label
+                changed = True
+        if not changed:
+            break
+    groups = {}
+    for node, label in labels.items():
+        groups.setdefault(label, set()).add(node)
+    return list(groups.values())

@@ -1,0 +1,157 @@
+"""Random forest built on :class:`repro.ml.tree.DecisionTreeClassifier`.
+
+The paper's MoRER, Almser and Bootstrap implementations all use
+scikit-learn random forests as the underlying classifier; this is the
+drop-in replacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin
+from .tree import DecisionTreeClassifier
+from .utils import check_array, check_random_state, check_X_y
+
+__all__ = ["RandomForestClassifier", "BaggingClassifier"]
+
+
+class RandomForestClassifier(BaseEstimator, ClassifierMixin):
+    """Bootstrap-aggregated CART trees with per-split feature subsampling.
+
+    Parameters
+    ----------
+    n_estimators : int
+        Number of trees.
+    criterion, max_depth, min_samples_split, min_samples_leaf, max_features
+        Passed to each tree; ``max_features`` defaults to ``"sqrt"``.
+    bootstrap : bool
+        Sample the training set with replacement per tree.
+    random_state : int or numpy.random.Generator, optional
+        Seeds both the bootstrap draws and tree feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators=30,
+        criterion="gini",
+        max_depth=None,
+        min_samples_split=2,
+        min_samples_leaf=1,
+        max_features="sqrt",
+        bootstrap=True,
+        random_state=None,
+    ):
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        """Fit ``n_estimators`` trees on bootstrap resamples of ``(X, y)``."""
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        self.classes_ = np.unique(y)
+        self.n_features_in_ = X.shape[1]
+        n = X.shape[0]
+        self.estimators_ = []
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+                # Guard against degenerate single-class bootstrap samples
+                # which would make the tree useless for probabilities.
+                if len(np.unique(y[sample])) < len(self.classes_) and n > 1:
+                    sample = _stratified_bootstrap(y, rng)
+                tree.fit(X[sample], y[sample])
+            else:
+                tree.fit(X, y)
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X):
+        """Average class probabilities over trees, aligned to ``classes_``."""
+        X = check_array(X)
+        total = np.zeros((X.shape[0], len(self.classes_)))
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            for j, cls in enumerate(tree.classes_):
+                total[:, class_index[cls]] += proba[:, j]
+        return total / len(self.estimators_)
+
+    def predict(self, X):
+        """Majority-probability prediction."""
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+
+def _stratified_bootstrap(y, rng):
+    """Bootstrap indices guaranteed to contain every class at least once."""
+    n = len(y)
+    sample = rng.integers(0, n, size=n).tolist()
+    for cls in np.unique(y):
+        members = np.nonzero(y == cls)[0]
+        sample[int(rng.integers(0, n))] = int(members[rng.integers(0, len(members))])
+    return np.asarray(sample)
+
+
+class BaggingClassifier(BaseEstimator, ClassifierMixin):
+    """Bootstrap aggregation of an arbitrary base estimator.
+
+    Used by the Bootstrap AL method (Mozafari et al.): ``k`` classifiers
+    trained on resamples of the labelled pool vote on every unlabelled
+    feature vector, and the vote split defines the uncertainty (Eq. 10).
+    """
+
+    def __init__(self, base_estimator=None, n_estimators=10, random_state=None):
+        self.base_estimator = base_estimator
+        self.n_estimators = n_estimators
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        """Fit ``n_estimators`` clones on stratified bootstrap resamples."""
+        from .base import clone
+        from .tree import DecisionTreeClassifier
+
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        base = self.base_estimator or DecisionTreeClassifier(max_depth=8)
+        self.classes_ = np.unique(y)
+        self.estimators_ = []
+        for _ in range(self.n_estimators):
+            estimator = clone(base)
+            if hasattr(estimator, "random_state"):
+                estimator.random_state = int(rng.integers(0, 2**31 - 1))
+            sample = _stratified_bootstrap(y, rng)
+            estimator.fit(X[sample], y[sample])
+            self.estimators_.append(estimator)
+        return self
+
+    def vote_matrix(self, X):
+        """Return the ``(n_estimators, n_samples)`` matrix of hard votes."""
+        return np.vstack([e.predict(X) for e in self.estimators_])
+
+    def predict_proba(self, X):
+        """Vote shares per class, aligned to ``classes_``."""
+        votes = self.vote_matrix(X)
+        proba = np.zeros((votes.shape[1], len(self.classes_)))
+        for i, cls in enumerate(self.classes_):
+            proba[:, i] = np.mean(votes == cls, axis=0)
+        return proba
+
+    def predict(self, X):
+        """Majority vote."""
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

@@ -1,0 +1,136 @@
+"""Diagonal-covariance Gaussian mixture fitted with EM.
+
+ZeroER (Wu et al., SIGMOD 2020) models the match / non-match similarity
+densities with an adapted Gaussian mixture; this is the EM substrate it
+builds on (see :mod:`repro.baselines.zeroer`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator
+from .utils import check_array, check_random_state
+
+__all__ = ["GaussianMixture"]
+
+
+class GaussianMixture(BaseEstimator):
+    """EM-fitted mixture of axis-aligned Gaussians.
+
+    Parameters
+    ----------
+    n_components : int
+        Number of mixture components.
+    max_iter : int
+        Maximum EM iterations.
+    tol : float
+        Stop when the mean log-likelihood improves by less than this.
+    reg_covar : float
+        Variance floor added each M step.
+    random_state : int or numpy.random.Generator, optional
+        Seeds the k-means++-style initialisation.
+    """
+
+    def __init__(
+        self,
+        n_components=2,
+        max_iter=100,
+        tol=1e-4,
+        reg_covar=1e-6,
+        random_state=None,
+    ):
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.reg_covar = reg_covar
+        self.random_state = random_state
+
+    def fit(self, X):
+        """Run EM until convergence; returns ``self``."""
+        X = check_array(X)
+        rng = check_random_state(self.random_state)
+        n, d = X.shape
+        k = self.n_components
+        if n < k:
+            raise ValueError("need at least n_components samples")
+
+        # k-means++-style seeding of the means.
+        means = np.empty((k, d))
+        means[0] = X[rng.integers(0, n)]
+        for j in range(1, k):
+            dist_sq = np.min(
+                ((X[:, None, :] - means[None, :j, :]) ** 2).sum(axis=2), axis=1
+            )
+            total = dist_sq.sum()
+            if total <= 0:
+                means[j] = X[rng.integers(0, n)]
+            else:
+                means[j] = X[rng.choice(n, p=dist_sq / total)]
+        variances = np.tile(X.var(axis=0) + self.reg_covar, (k, 1))
+        weights = np.full(k, 1.0 / k)
+
+        previous_ll = -np.inf
+        for iteration in range(self.max_iter):
+            log_resp, log_likelihood = self._e_step(X, means, variances, weights)
+            resp = np.exp(log_resp)
+            nk = resp.sum(axis=0) + 1e-12
+            weights = nk / n
+            means = resp.T @ X / nk[:, None]
+            variances = (
+                resp.T @ (X**2) / nk[:, None] - means**2 + self.reg_covar
+            )
+            variances = np.maximum(variances, self.reg_covar)
+            if abs(log_likelihood - previous_ll) < self.tol:
+                break
+            previous_ll = log_likelihood
+
+        self.weights_ = weights
+        self.means_ = means
+        self.variances_ = variances
+        self.n_iter_ = iteration + 1
+        self.lower_bound_ = float(log_likelihood)
+        self.n_features_in_ = d
+        return self
+
+    def _log_prob(self, X, means, variances, weights):
+        """Per-component weighted log densities, shape ``(n, k)``."""
+        n = X.shape[0]
+        k = means.shape[0]
+        log_prob = np.empty((n, k))
+        for j in range(k):
+            diff = X - means[j]
+            log_prob[:, j] = (
+                -0.5 * np.sum(np.log(2 * np.pi * variances[j]))
+                - 0.5 * np.sum(diff**2 / variances[j], axis=1)
+                + np.log(weights[j] + 1e-300)
+            )
+        return log_prob
+
+    def _e_step(self, X, means, variances, weights):
+        log_prob = self._log_prob(X, means, variances, weights)
+        log_norm = _logsumexp(log_prob)
+        return log_prob - log_norm[:, None], float(np.mean(log_norm))
+
+    def predict_proba(self, X):
+        """Component responsibilities for every row."""
+        X = check_array(X)
+        log_prob = self._log_prob(X, self.means_, self.variances_, self.weights_)
+        log_norm = _logsumexp(log_prob)
+        return np.exp(log_prob - log_norm[:, None])
+
+    def predict(self, X):
+        """Most responsible component index."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def score_samples(self, X):
+        """Per-sample log likelihood under the mixture."""
+        X = check_array(X)
+        log_prob = self._log_prob(X, self.means_, self.variances_, self.weights_)
+        return _logsumexp(log_prob)
+
+
+def _logsumexp(a):
+    """Row-wise log-sum-exp."""
+    m = a.max(axis=1)
+    return m + np.log(np.sum(np.exp(a - m[:, None]), axis=1))

@@ -1,0 +1,74 @@
+"""Classification metrics used throughout the evaluation.
+
+The paper reports precision, recall and F1 over the predicted matches of
+all ER tasks (§5.2); these implementations follow the standard binary
+definitions with an explicit ``positive_label``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "confusion_counts",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "accuracy_score",
+    "precision_recall_f1",
+]
+
+
+def confusion_counts(y_true, y_pred, positive_label=1):
+    """Return ``(tp, fp, fn, tn)`` for a binary task."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    pos_true = y_true == positive_label
+    pos_pred = y_pred == positive_label
+    tp = int(np.sum(pos_true & pos_pred))
+    fp = int(np.sum(~pos_true & pos_pred))
+    fn = int(np.sum(pos_true & ~pos_pred))
+    tn = int(np.sum(~pos_true & ~pos_pred))
+    return tp, fp, fn, tn
+
+
+def precision_score(y_true, y_pred, positive_label=1):
+    """Precision = tp / (tp + fp); 0.0 when nothing is predicted positive."""
+    tp, fp, _, _ = confusion_counts(y_true, y_pred, positive_label)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true, y_pred, positive_label=1):
+    """Recall = tp / (tp + fn); 0.0 when there are no positives."""
+    tp, _, fn, _ = confusion_counts(y_true, y_pred, positive_label)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true, y_pred, positive_label=1):
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred, positive_label)
+    r = recall_score(y_true, y_pred, positive_label)
+    return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def accuracy_score(y_true, y_pred):
+    """Fraction of exactly matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_recall_f1(y_true, y_pred, positive_label=1):
+    """Return the ``(precision, recall, f1)`` triple the paper tabulates."""
+    p = precision_score(y_true, y_pred, positive_label)
+    r = recall_score(y_true, y_pred, positive_label)
+    f1 = 2 * p * r / (p + r) if p + r else 0.0
+    return p, r, f1

@@ -1,0 +1,100 @@
+"""Brute-force k-nearest-neighbour search and classification.
+
+TransER (Kirielle et al., EDBT 2022) transfers labels between source and
+target ER tasks through feature-vector neighbourhoods; this module
+provides the neighbourhood machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin
+from .utils import check_array, check_X_y
+
+__all__ = ["NearestNeighbors", "KNeighborsClassifier"]
+
+
+def pairwise_distances(A, B, metric="euclidean"):
+    """Dense ``(len(A), len(B))`` distance matrix.
+
+    Supported metrics: ``euclidean``, ``manhattan``, ``cosine``.
+    """
+    A = check_array(A)
+    B = check_array(B)
+    if A.shape[1] != B.shape[1]:
+        raise ValueError("dimension mismatch between A and B")
+    if metric == "euclidean":
+        sq = (
+            np.sum(A**2, axis=1)[:, None]
+            - 2 * A @ B.T
+            + np.sum(B**2, axis=1)[None, :]
+        )
+        return np.sqrt(np.maximum(sq, 0.0))
+    if metric == "manhattan":
+        return np.abs(A[:, None, :] - B[None, :, :]).sum(axis=2)
+    if metric == "cosine":
+        na = np.linalg.norm(A, axis=1, keepdims=True)
+        nb = np.linalg.norm(B, axis=1, keepdims=True)
+        sim = (A / np.maximum(na, 1e-12)) @ (B / np.maximum(nb, 1e-12)).T
+        return 1.0 - sim
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+class NearestNeighbors(BaseEstimator):
+    """Index-free exact nearest-neighbour search."""
+
+    def __init__(self, n_neighbors=5, metric="euclidean"):
+        self.n_neighbors = n_neighbors
+        self.metric = metric
+
+    def fit(self, X):
+        """Store the reference set."""
+        self.X_ = check_array(X)
+        return self
+
+    def kneighbors(self, X, n_neighbors=None):
+        """Return ``(distances, indices)`` of the k closest reference rows."""
+        k = n_neighbors or self.n_neighbors
+        k = min(k, self.X_.shape[0])
+        distances = pairwise_distances(X, self.X_, metric=self.metric)
+        idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        row = np.arange(distances.shape[0])[:, None]
+        d = distances[row, idx]
+        order = np.argsort(d, axis=1, kind="mergesort")
+        return d[row, order], idx[row, order]
+
+
+class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
+    """Majority-vote kNN classifier (uniform or distance weighting)."""
+
+    def __init__(self, n_neighbors=5, metric="euclidean", weights="uniform"):
+        self.n_neighbors = n_neighbors
+        self.metric = metric
+        self.weights = weights
+
+    def fit(self, X, y):
+        """Store training data and labels."""
+        X, y = check_X_y(X, y)
+        self.classes_, self._y_enc = np.unique(y, return_inverse=True)
+        self._index = NearestNeighbors(self.n_neighbors, self.metric).fit(X)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X):
+        """Neighbour vote shares per class."""
+        distances, indices = self._index.kneighbors(X)
+        if self.weights == "distance":
+            w = 1.0 / np.maximum(distances, 1e-12)
+        else:
+            w = np.ones_like(distances)
+        proba = np.zeros((X.shape[0] if hasattr(X, "shape") else len(X),
+                          len(self.classes_)))
+        labels = self._y_enc[indices]
+        for c in range(len(self.classes_)):
+            proba[:, c] = np.sum(w * (labels == c), axis=1)
+        return proba / proba.sum(axis=1, keepdims=True)
+
+    def predict(self, X):
+        """Weighted majority vote."""
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

@@ -1,0 +1,270 @@
+"""CART decision-tree classifier (gini / entropy) implemented on numpy.
+
+Split search is vectorised per feature: candidate thresholds are the
+midpoints between consecutive distinct sorted values and impurities of
+both children are evaluated with cumulative class counts, so a node costs
+``O(n_features * n log n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin
+from .utils import check_array, check_random_state, check_X_y
+
+__all__ = ["DecisionTreeClassifier"]
+
+_LEAF = -1
+
+
+def _gini(counts):
+    """Gini impurity of rows of class ``counts`` (vectorised)."""
+    total = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        proportions = np.where(total > 0, counts / total, 0.0)
+    return 1.0 - np.sum(proportions**2, axis=-1)
+
+
+def _entropy(counts):
+    """Shannon entropy of rows of class ``counts`` (vectorised)."""
+    total = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        proportions = np.where(total > 0, counts / total, 0.0)
+        logs = np.where(proportions > 0, np.log2(proportions), 0.0)
+    return -np.sum(proportions * logs, axis=-1)
+
+
+_CRITERIA = {"gini": _gini, "entropy": _entropy}
+
+
+class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
+    """Binary/multiclass CART tree.
+
+    Parameters
+    ----------
+    criterion : {"gini", "entropy"}
+        Impurity measure for split selection.
+    max_depth : int or None
+        Maximum tree depth; ``None`` grows until pure or ``min_samples_*``.
+    min_samples_split : int
+        Minimum samples required to attempt a split.
+    min_samples_leaf : int
+        Minimum samples each child must keep.
+    max_features : int, float, "sqrt", "log2" or None
+        Number of features examined per split (random forests pass
+        ``"sqrt"``); ``None`` uses all features.
+    random_state : int or numpy.random.Generator, optional
+        Seeds the feature subsampling.
+    """
+
+    def __init__(
+        self,
+        criterion="gini",
+        max_depth=None,
+        min_samples_split=2,
+        min_samples_leaf=1,
+        max_features=None,
+        random_state=None,
+    ):
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(self, X, y, sample_weight=None):
+        """Grow the tree on ``(X, y)``.
+
+        ``sample_weight`` is accepted for API compatibility but only
+        uniform weights are supported (ER training sets are re-sampled
+        explicitly by the AL methods instead).
+        """
+        if self.criterion not in _CRITERIA:
+            raise ValueError(f"unknown criterion {self.criterion!r}")
+        X, y = check_X_y(X, y)
+        if sample_weight is not None:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+            if sample_weight.shape[0] != X.shape[0]:
+                raise ValueError("sample_weight has wrong length")
+            keep = sample_weight > 0
+            X, y = X[keep], y[keep]
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self.n_features_in_ = X.shape[1]
+        self._rng = check_random_state(self.random_state)
+
+        # Flat array representation: children indices, feature, threshold,
+        # and per-node class counts. Grown depth-first with an explicit
+        # stack to avoid recursion limits on deep trees.
+        children_left, children_right = [], []
+        features, thresholds, value_rows = [], [], []
+
+        n_classes = len(self.classes_)
+        impurity_fn = _CRITERIA[self.criterion]
+
+        def new_node():
+            children_left.append(_LEAF)
+            children_right.append(_LEAF)
+            features.append(_LEAF)
+            thresholds.append(0.0)
+            value_rows.append(np.zeros(n_classes))
+            return len(children_left) - 1
+
+        root = new_node()
+        stack = [(root, np.arange(X.shape[0]), 0)]
+        while stack:
+            node, indices, depth = stack.pop()
+            counts = np.bincount(y_enc[indices], minlength=n_classes).astype(float)
+            value_rows[node] = counts
+            if (
+                len(indices) < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or counts.max() == counts.sum()
+            ):
+                continue
+            split = self._best_split(X, y_enc, indices, n_classes, impurity_fn)
+            if split is None:
+                continue
+            feature, threshold, left_idx, right_idx = split
+            features[node] = feature
+            thresholds[node] = threshold
+            left = new_node()
+            right = new_node()
+            children_left[node] = left
+            children_right[node] = right
+            stack.append((left, left_idx, depth + 1))
+            stack.append((right, right_idx, depth + 1))
+
+        self.children_left_ = np.asarray(children_left, dtype=np.int64)
+        self.children_right_ = np.asarray(children_right, dtype=np.int64)
+        self.feature_ = np.asarray(features, dtype=np.int64)
+        self.threshold_ = np.asarray(thresholds, dtype=np.float64)
+        self.value_ = np.vstack(value_rows)
+        self.n_nodes_ = len(children_left)
+        del self._rng
+        return self
+
+    def _n_split_features(self):
+        n = self.n_features_in_
+        mf = self.max_features
+        if mf is None:
+            return n
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n)))
+        if mf == "log2":
+            return max(1, int(np.log2(n)))
+        if isinstance(mf, float):
+            return max(1, min(n, int(mf * n)))
+        return max(1, min(n, int(mf)))
+
+    def _best_split(self, X, y_enc, indices, n_classes, impurity_fn):
+        """Return ``(feature, threshold, left_idx, right_idx)`` or ``None``."""
+        n_candidates = self._n_split_features()
+        if n_candidates < self.n_features_in_:
+            candidate_features = self._rng.choice(
+                self.n_features_in_, size=n_candidates, replace=False
+            )
+        else:
+            candidate_features = np.arange(self.n_features_in_)
+
+        y_node = y_enc[indices]
+        parent_counts = np.bincount(y_node, minlength=n_classes).astype(float)
+        n_node = len(indices)
+        parent_impurity = impurity_fn(parent_counts)
+
+        best_gain = 1e-12
+        best = None
+        for feature in candidate_features:
+            column = X[indices, feature]
+            order = np.argsort(column, kind="mergesort")
+            sorted_vals = column[order]
+            sorted_y = y_node[order]
+            # Cumulative class counts for every prefix.
+            one_hot = np.zeros((n_node, n_classes))
+            one_hot[np.arange(n_node), sorted_y] = 1.0
+            prefix = np.cumsum(one_hot, axis=0)
+            # Valid split positions: between distinct values, honouring
+            # min_samples_leaf on both sides.
+            distinct = sorted_vals[1:] != sorted_vals[:-1]
+            positions = np.nonzero(distinct)[0] + 1  # left size = position
+            if positions.size == 0:
+                continue
+            leaf_ok = (positions >= self.min_samples_leaf) & (
+                n_node - positions >= self.min_samples_leaf
+            )
+            positions = positions[leaf_ok]
+            if positions.size == 0:
+                continue
+            left_counts = prefix[positions - 1]
+            right_counts = parent_counts - left_counts
+            n_left = positions.astype(float)
+            n_right = n_node - n_left
+            child_impurity = (
+                n_left * impurity_fn(left_counts)
+                + n_right * impurity_fn(right_counts)
+            ) / n_node
+            gains = parent_impurity - child_impurity
+            best_pos = int(np.argmax(gains))
+            if gains[best_pos] > best_gain:
+                position = positions[best_pos]
+                threshold = 0.5 * (
+                    sorted_vals[position - 1] + sorted_vals[position]
+                )
+                best_gain = gains[best_pos]
+                left_mask = column <= threshold
+                best = (
+                    int(feature),
+                    float(threshold),
+                    indices[left_mask],
+                    indices[~left_mask],
+                )
+        return best
+
+    # -- prediction ------------------------------------------------------
+
+    def _leaf_indices(self, X):
+        """Vectorised routing of every row of ``X`` to its leaf node."""
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.children_left_[nodes] != _LEAF
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            current = nodes[idx]
+            go_left = (
+                X[idx, self.feature_[current]] <= self.threshold_[current]
+            )
+            nodes[idx] = np.where(
+                go_left,
+                self.children_left_[current],
+                self.children_right_[current],
+            )
+            active[idx] = self.children_left_[nodes[idx]] != _LEAF
+        return nodes
+
+    def predict_proba(self, X):
+        """Class probabilities from leaf class frequencies."""
+        leaves = self._leaf_indices(X)
+        counts = self.value_[leaves]
+        totals = counts.sum(axis=1, keepdims=True)
+        return counts / np.maximum(totals, 1e-12)
+
+    def predict(self, X):
+        """Majority-class prediction."""
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    @property
+    def tree_depth_(self):
+        """Depth of the fitted tree (root = 0)."""
+        depth = np.zeros(self.n_nodes_, dtype=int)
+        for node in range(self.n_nodes_):
+            for child in (self.children_left_[node], self.children_right_[node]):
+                if child != _LEAF:
+                    depth[child] = depth[node] + 1
+        return int(depth.max()) if self.n_nodes_ else 0

@@ -1,0 +1,55 @@
+"""Manual-backprop neural substrate for the LM baseline simulators."""
+
+from .attention import MultiHeadSelfAttention
+from .layers import (
+    Dense,
+    Dropout,
+    Embedding,
+    Layer,
+    LayerNorm,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .losses import bce_with_logits, cross_entropy, nt_xent
+from .optim import SGD, Adam, clip_gradients
+from .text import (
+    CLS_ID,
+    PAD_ID,
+    SEP_ID,
+    HashingTokenizer,
+    serialize_pair,
+    serialize_record,
+)
+from .transformer import (
+    MaskedMeanPool,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Dropout",
+    "LayerNorm",
+    "Embedding",
+    "Sequential",
+    "MultiHeadSelfAttention",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "MaskedMeanPool",
+    "SGD",
+    "Adam",
+    "clip_gradients",
+    "bce_with_logits",
+    "cross_entropy",
+    "nt_xent",
+    "HashingTokenizer",
+    "serialize_record",
+    "serialize_pair",
+    "PAD_ID",
+    "CLS_ID",
+    "SEP_ID",
+]

@@ -1,0 +1,78 @@
+"""Multi-head self-attention with explicit backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Dense, Layer
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Layer):
+    """Scaled dot-product self-attention (Vaswani et al. 2017).
+
+    Parameters
+    ----------
+    dim : int
+        Model dimension (must be divisible by ``n_heads``).
+    n_heads : int
+    rng : numpy.random.Generator, optional
+    """
+
+    def __init__(self, dim, n_heads=2, rng=None):
+        if dim % n_heads != 0:
+            raise ValueError("dim must be divisible by n_heads")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.qkv = Dense(dim, 3 * dim, rng=rng)
+        self.out = Dense(dim, dim, rng=rng)
+
+    def forward(self, x, mask=None, training=False):
+        """``x``: (batch, seq, dim); ``mask``: (batch, seq) 1=real token."""
+        batch, seq, _ = x.shape
+        qkv = self.qkv.forward(x, training=training)
+        qkv = qkv.reshape(batch, seq, 3, self.n_heads, self.head_dim)
+        # (3, batch, heads, seq, head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        if mask is not None:
+            bias = np.where(mask[:, None, None, :] > 0, 0.0, -1e9)
+            scores = scores + bias
+        scores -= scores.max(axis=-1, keepdims=True)
+        weights = np.exp(scores)
+        weights /= weights.sum(axis=-1, keepdims=True)
+
+        context = weights @ v  # (batch, heads, seq, head_dim)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        output = self.out.forward(merged, training=training)
+
+        self._cache = (q, k, v, weights, batch, seq)
+        return output
+
+    def backward(self, grad_output):
+        q, k, v, weights, batch, seq = self._cache
+        grad_merged = self.out.backward(grad_output)
+        grad_context = grad_merged.reshape(
+            batch, seq, self.n_heads, self.head_dim
+        ).transpose(0, 2, 1, 3)
+
+        grad_weights = grad_context @ v.transpose(0, 1, 3, 2)
+        grad_v = weights.transpose(0, 1, 3, 2) @ grad_context
+
+        # Softmax backward (rows of `weights` sum to one).
+        inner = (grad_weights * weights).sum(axis=-1, keepdims=True)
+        grad_scores = weights * (grad_weights - inner)
+        grad_scores /= np.sqrt(self.head_dim)
+
+        grad_q = grad_scores @ k
+        grad_k = grad_scores.transpose(0, 1, 3, 2) @ q
+
+        grad_qkv = np.stack([grad_q, grad_k, grad_v], axis=0)
+        grad_qkv = grad_qkv.transpose(1, 3, 0, 2, 4).reshape(
+            batch, seq, 3 * self.dim
+        )
+        return self.qkv.backward(grad_qkv)

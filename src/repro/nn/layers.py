@@ -1,0 +1,187 @@
+"""Manual-backprop neural layers on numpy.
+
+No autograd exists offline, so every layer implements ``forward`` /
+``backward`` explicitly and exposes its :class:`Parameter` objects to
+the optimisers in :mod:`repro.nn.optim`. Layers cache forward inputs,
+so one layer instance must not be reused twice inside a single forward
+pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.utils import check_random_state
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Dropout",
+    "LayerNorm",
+    "Embedding",
+    "Sequential",
+]
+
+
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    def __init__(self, value):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self):
+        """Reset the gradient accumulator."""
+        self.grad.fill(0.0)
+
+
+class Layer:
+    """Base layer: parameter discovery via attribute reflection."""
+
+    def parameters(self):
+        """All :class:`Parameter` objects of this layer and sub-layers."""
+        found = []
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                found.append(value)
+            elif isinstance(value, Layer):
+                found.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Layer):
+                        found.extend(item.parameters())
+        return found
+
+    def forward(self, x, training=False):
+        """Compute the layer output (caches what backward needs)."""
+        raise NotImplementedError
+
+    def backward(self, grad_output):
+        """Propagate ``grad_output`` and accumulate parameter grads."""
+        raise NotImplementedError
+
+    def __call__(self, x, training=False):
+        return self.forward(x, training=training)
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W + b`` for 2-d or 3-d inputs."""
+
+    def __init__(self, in_features, out_features, rng=None):
+        rng = check_random_state(rng)
+        scale = np.sqrt(2.0 / (in_features + out_features))
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(in_features, out_features))
+        )
+        self.bias = Parameter(np.zeros(out_features))
+
+    def forward(self, x, training=False):
+        self._input_shape = x.shape
+        self._x2d = x.reshape(-1, x.shape[-1])
+        out = self._x2d @ self.weight.value + self.bias.value
+        return out.reshape(*x.shape[:-1], self.weight.value.shape[1])
+
+    def backward(self, grad_output):
+        g2d = grad_output.reshape(-1, grad_output.shape[-1])
+        self.weight.grad += self._x2d.T @ g2d
+        self.bias.grad += g2d.sum(axis=0)
+        grad_input = g2d @ self.weight.value.T
+        return grad_input.reshape(self._input_shape)
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, x, training=False):
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output):
+        return grad_output * self._mask
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, p=0.1, rng=None):
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = check_random_state(rng)
+
+    def forward(self, x, training=False):
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        self._mask = (
+            self._rng.random(x.shape) >= self.p
+        ).astype(x.dtype) / (1.0 - self.p)
+        return x * self._mask
+
+    def backward(self, grad_output):
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class LayerNorm(Layer):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim, eps=1e-5):
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+        self.eps = eps
+
+    def forward(self, x, training=False):
+        self._mean = x.mean(axis=-1, keepdims=True)
+        variance = x.var(axis=-1, keepdims=True)
+        self._inv_std = 1.0 / np.sqrt(variance + self.eps)
+        self._x_hat = (x - self._mean) * self._inv_std
+        return self._x_hat * self.gamma.value + self.beta.value
+
+    def backward(self, grad_output):
+        d = grad_output.shape[-1]
+        self.gamma.grad += (grad_output * self._x_hat).reshape(-1, d).sum(axis=0)
+        self.beta.grad += grad_output.reshape(-1, d).sum(axis=0)
+        g = grad_output * self.gamma.value
+        # Standard layernorm backward.
+        mean_g = g.mean(axis=-1, keepdims=True)
+        mean_gx = (g * self._x_hat).mean(axis=-1, keepdims=True)
+        return self._inv_std * (g - mean_g - self._x_hat * mean_gx)
+
+
+class Embedding(Layer):
+    """Token-id lookup table with scatter-add backward."""
+
+    def __init__(self, vocab_size, dim, rng=None):
+        rng = check_random_state(rng)
+        self.table = Parameter(rng.normal(0.0, 0.02, size=(vocab_size, dim)))
+
+    def forward(self, token_ids, training=False):
+        self._token_ids = np.asarray(token_ids, dtype=np.int64)
+        return self.table.value[self._token_ids]
+
+    def backward(self, grad_output):
+        flat_ids = self._token_ids.reshape(-1)
+        flat_grad = grad_output.reshape(-1, grad_output.shape[-1])
+        np.add.at(self.table.grad, flat_ids, flat_grad)
+        return None  # token ids carry no gradient
+
+
+class Sequential(Layer):
+    """Chain of layers with symmetric backward."""
+
+    def __init__(self, *layers):
+        self.layers = list(layers)
+
+    def forward(self, x, training=False):
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_output):
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output

@@ -1,0 +1,91 @@
+"""Losses returning ``(loss, gradient)`` pairs for manual backprop."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bce_with_logits", "cross_entropy", "nt_xent"]
+
+
+def bce_with_logits(logits, targets, pos_weight=None):
+    """Binary cross entropy on raw logits.
+
+    ``pos_weight`` scales the positive-class term (ER pair pools are
+    heavily imbalanced towards non-matches). Returns
+    ``(mean_loss, dloss/dlogits)``; numerically stable via softplus.
+    """
+    logits = np.asarray(logits, dtype=float).ravel()
+    targets = np.asarray(targets, dtype=float).ravel()
+    if logits.shape != targets.shape:
+        raise ValueError("logits and targets must align")
+    w = 1.0 if pos_weight is None else float(pos_weight)
+    # log sigma(z) = -softplus(-z); log(1 - sigma(z)) = -softplus(z)
+    softplus_pos = np.maximum(logits, 0) + np.log1p(np.exp(-np.abs(logits)))
+    softplus_neg = softplus_pos - logits
+    loss = w * targets * softplus_neg + (1.0 - targets) * softplus_pos
+    probabilities = 1.0 / (1.0 + np.exp(-np.clip(logits, -35, 35)))
+    grad = (
+        probabilities * (w * targets + 1.0 - targets) - w * targets
+    ) / logits.size
+    return float(loss.mean()), grad
+
+
+def cross_entropy(logits, targets):
+    """Softmax cross entropy; ``targets`` are integer class ids.
+
+    Returns ``(mean_loss, dloss/dlogits)``.
+    """
+    logits = np.asarray(logits, dtype=float)
+    targets = np.asarray(targets, dtype=int)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probabilities = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    loss = -np.mean(
+        np.log(probabilities[np.arange(n), targets] + 1e-12)
+    )
+    grad = probabilities.copy()
+    grad[np.arange(n), targets] -= 1.0
+    return float(loss), grad / n
+
+
+def nt_xent(embeddings, temperature=0.5):
+    """NT-Xent contrastive loss (SimCLR; used by the Sudowoodo simulator).
+
+    ``embeddings`` has shape ``(2N, d)`` where rows ``i`` and ``i + N``
+    are the two augmented views of the same record. Embeddings are
+    L2-normalised internally (with backprop through the normalisation).
+
+    Returns ``(mean_loss, dloss/dembeddings)``.
+    """
+    z = np.asarray(embeddings, dtype=float)
+    two_n, _ = z.shape
+    if two_n % 2 != 0 or two_n < 4:
+        raise ValueError("need an even number >= 4 of embeddings")
+    n = two_n // 2
+
+    norms = np.linalg.norm(z, axis=1, keepdims=True)
+    norms = np.maximum(norms, 1e-12)
+    u = z / norms
+
+    similarities = u @ u.T / temperature
+    np.fill_diagonal(similarities, -np.inf)
+    positives = np.concatenate([np.arange(n, two_n), np.arange(0, n)])
+
+    shifted = similarities - similarities.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probabilities = exp / exp.sum(axis=1, keepdims=True)
+    loss = -np.mean(
+        np.log(probabilities[np.arange(two_n), positives] + 1e-12)
+    )
+
+    grad_s = probabilities.copy()
+    grad_s[np.arange(two_n), positives] -= 1.0
+    grad_s /= two_n
+    np.fill_diagonal(grad_s, 0.0)
+    # s = u u^T / temperature  =>  dL/du = (G + G^T) u / temperature
+    grad_u = (grad_s + grad_s.T) @ u / temperature
+    # Backprop through the row normalisation u = z / ||z||.
+    inner = np.sum(grad_u * u, axis=1, keepdims=True)
+    grad_z = (grad_u - u * inner) / norms
+    return float(loss), grad_z

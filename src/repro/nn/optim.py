@@ -1,0 +1,71 @@
+"""Optimisers for :class:`repro.nn.layers.Parameter` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam", "clip_gradients"]
+
+
+def clip_gradients(parameters, max_norm=5.0):
+    """Scale all gradients so their joint L2 norm is at most ``max_norm``."""
+    total = 0.0
+    for parameter in parameters:
+        total += float(np.sum(parameter.grad**2))
+    norm = np.sqrt(total)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for parameter in parameters:
+            parameter.grad *= scale
+    return norm
+
+
+class SGD:
+    """Vanilla stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr=0.01, momentum=0.0):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self):
+        """Apply one update and clear gradients."""
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += parameter.grad
+                parameter.value -= self.lr * velocity
+            else:
+                parameter.value -= self.lr * parameter.grad
+            parameter.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(self, parameters, lr=1e-3, beta1=0.9, beta2=0.999,
+                 eps=1e-8, weight_decay=0.0):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self):
+        """Apply one update and clear gradients."""
+        self._t += 1
+        for i, parameter in enumerate(self.parameters):
+            grad = parameter.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * parameter.value
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
+            m_hat = self._m[i] / (1 - self.beta1**self._t)
+            v_hat = self._v[i] / (1 - self.beta2**self._t)
+            parameter.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            parameter.zero_grad()

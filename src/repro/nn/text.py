@@ -1,0 +1,110 @@
+"""Text encoding for the language-model simulators.
+
+Records are serialised Ditto-style (``COL <attr> VAL <value> ...``),
+pairs joined with a ``[SEP]`` token, and tokens mapped to a fixed-size
+vocabulary with the hashing trick (no pretrained tokenizer offline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..similarity.tokenize import qgrams, word_tokens
+
+__all__ = [
+    "HashingTokenizer",
+    "serialize_record",
+    "serialize_pair",
+]
+
+PAD_ID = 0
+CLS_ID = 1
+SEP_ID = 2
+_RESERVED = 3
+
+
+def serialize_record(record, attributes=None):
+    """Ditto-style serialisation: ``COL title VAL ultra hd tv ...``."""
+    if hasattr(record, "attributes"):
+        record = record.attributes
+    keys = attributes if attributes is not None else sorted(record)
+    parts = []
+    for key in keys:
+        value = record.get(key)
+        if value is None:
+            continue
+        parts.append(f"COL {key} VAL {value}")
+    return " ".join(parts)
+
+
+def serialize_pair(record_a, record_b, attributes=None):
+    """Serialise a record pair with an explicit separator marker."""
+    return (
+        serialize_record(record_a, attributes)
+        + " [SEP] "
+        + serialize_record(record_b, attributes)
+    )
+
+
+class HashingTokenizer:
+    """Stable hashing-trick tokenizer.
+
+    Parameters
+    ----------
+    vocab_size : int
+        Total vocabulary including the reserved PAD/CLS/SEP ids.
+    max_len : int
+        Sequences are truncated / padded to this length (position 0 is
+        always CLS).
+    unit : {"words", "qgrams"}
+        ``"qgrams"`` tokenises into character trigrams (a fastText-style
+        subword scheme) — what makes the from-scratch LM simulators
+        robust to the typo-level corruption of ER corpora.
+    """
+
+    def __init__(self, vocab_size=2048, max_len=48, unit="words"):
+        if vocab_size <= _RESERVED + 1:
+            raise ValueError("vocab_size too small for reserved tokens")
+        if unit not in ("words", "qgrams"):
+            raise ValueError("unit must be 'words' or 'qgrams'")
+        self.vocab_size = vocab_size
+        self.max_len = max_len
+        self.unit = unit
+
+    def token_id(self, token):
+        """Deterministic bucket for a token (md5-based, process-stable)."""
+        if token == "[SEP]":
+            return SEP_ID
+        digest = hashlib.md5(token.encode("utf-8")).digest()
+        bucket = int.from_bytes(digest[:4], "little")
+        return _RESERVED + bucket % (self.vocab_size - _RESERVED)
+
+    def encode(self, text):
+        """``text -> (ids, mask)`` of length ``max_len``."""
+        tokens = []
+        for raw in text.split():
+            if raw == "[SEP]":
+                tokens.append("[SEP]")
+            elif self.unit == "qgrams":
+                if raw in ("COL", "VAL"):
+                    continue  # boilerplate markers carry no signal
+                tokens.extend(qgrams(raw, 3))
+            else:
+                tokens.extend(word_tokens(raw))
+        ids = [CLS_ID]
+        for token in tokens[: self.max_len - 1]:
+            ids.append(self.token_id(token))
+        mask = [1] * len(ids)
+        while len(ids) < self.max_len:
+            ids.append(PAD_ID)
+            mask.append(0)
+        return np.asarray(ids, dtype=np.int64), np.asarray(mask, dtype=np.int64)
+
+    def encode_batch(self, texts):
+        """Encode a list of texts to stacked ``(ids, mask)`` arrays."""
+        encoded = [self.encode(text) for text in texts]
+        ids = np.stack([e[0] for e in encoded])
+        masks = np.stack([e[1] for e in encoded])
+        return ids, masks

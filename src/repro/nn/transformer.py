@@ -1,0 +1,114 @@
+"""A tiny transformer encoder (pre-norm) with masked mean pooling.
+
+This is the shared backbone of the language-model baseline simulators
+(Ditto / Unicorn / Sudowoodo / AnyMatch): hashing-trick token embeddings
+plus learned positions, ``n_layers`` pre-norm encoder blocks, and a
+masked mean pool producing one vector per sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.utils import check_random_state
+from .attention import MultiHeadSelfAttention
+from .layers import Dense, Dropout, Embedding, Layer, LayerNorm, ReLU
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder", "MaskedMeanPool"]
+
+
+class TransformerEncoderLayer(Layer):
+    """Pre-norm block: ``x + attn(LN(x))`` then ``x + ffn(LN(x))``."""
+
+    def __init__(self, dim, n_heads=2, ffn_dim=None, dropout=0.1, rng=None):
+        rng = check_random_state(rng)
+        ffn_dim = ffn_dim or 2 * dim
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadSelfAttention(dim, n_heads, rng=rng)
+        self.drop1 = Dropout(dropout, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Dense(dim, ffn_dim, rng=rng)
+        self.ffn_act = ReLU()
+        self.ffn_out = Dense(ffn_dim, dim, rng=rng)
+        self.drop2 = Dropout(dropout, rng=rng)
+
+    def forward(self, x, mask=None, training=False):
+        normed = self.norm1.forward(x, training=training)
+        attended = self.attention.forward(normed, mask=mask, training=training)
+        x = x + self.drop1.forward(attended, training=training)
+
+        normed2 = self.norm2.forward(x, training=training)
+        hidden = self.ffn_in.forward(normed2, training=training)
+        hidden = self.ffn_act.forward(hidden, training=training)
+        ffn = self.ffn_out.forward(hidden, training=training)
+        return x + self.drop2.forward(ffn, training=training)
+
+    def backward(self, grad_output):
+        grad_ffn = self.drop2.backward(grad_output)
+        grad_hidden = self.ffn_out.backward(grad_ffn)
+        grad_hidden = self.ffn_act.backward(grad_hidden)
+        grad_normed2 = self.ffn_in.backward(grad_hidden)
+        grad_x = grad_output + self.norm2.backward(grad_normed2)
+
+        grad_attended = self.drop1.backward(grad_x)
+        grad_normed = self.attention.backward(grad_attended)
+        return grad_x + self.norm1.backward(grad_normed)
+
+
+class TransformerEncoder(Layer):
+    """Embedding + positions + ``n_layers`` encoder blocks + final norm."""
+
+    def __init__(self, vocab_size, dim=32, n_heads=2, n_layers=2,
+                 max_len=64, dropout=0.1, rng=None):
+        rng = check_random_state(rng)
+        self.token_embedding = Embedding(vocab_size, dim, rng=rng)
+        self.position_embedding = Embedding(max_len, dim, rng=rng)
+        self.blocks = [
+            TransformerEncoderLayer(dim, n_heads, dropout=dropout, rng=rng)
+            for _ in range(n_layers)
+        ]
+        self.final_norm = LayerNorm(dim)
+        self.max_len = max_len
+        self.dim = dim
+
+    def forward(self, token_ids, mask=None, training=False):
+        """``token_ids``: (batch, seq) ints; returns (batch, seq, dim)."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        batch, seq = token_ids.shape
+        if seq > self.max_len:
+            raise ValueError(f"sequence length {seq} > max_len {self.max_len}")
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        x = (
+            self.token_embedding.forward(token_ids, training=training)
+            + self.position_embedding.forward(positions, training=training)
+        )
+        self._mask = mask
+        for block in self.blocks:
+            x = block.forward(x, mask=mask, training=training)
+        return self.final_norm.forward(x, training=training)
+
+    def backward(self, grad_output):
+        grad = self.final_norm.backward(grad_output)
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        self.token_embedding.backward(grad)
+        self.position_embedding.backward(grad)
+        return None
+
+
+class MaskedMeanPool(Layer):
+    """Mean over real (mask=1) positions: (batch, seq, d) -> (batch, d)."""
+
+    def forward(self, x, mask=None, training=False):
+        if mask is None:
+            mask = np.ones(x.shape[:2])
+        self._mask = mask.astype(float)
+        self._counts = np.maximum(self._mask.sum(axis=1, keepdims=True), 1.0)
+        self._x_shape = x.shape
+        return (x * self._mask[:, :, None]).sum(axis=1) / self._counts
+
+    def backward(self, grad_output):
+        grad = np.zeros(self._x_shape)
+        grad += (grad_output / self._counts)[:, None, :]
+        grad *= self._mask[:, :, None]
+        return grad

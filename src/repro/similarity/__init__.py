@@ -1,0 +1,53 @@
+"""String/numeric similarity substrate producing the feature vectors of §2."""
+
+from .numeric import (
+    normalized_difference,
+    parse_number,
+    relative_difference,
+    year_similarity,
+)
+from .string_sim import (
+    SIMILARITY_FUNCTIONS,
+    dice,
+    exact_match,
+    jaccard,
+    jaro_similarity,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    overlap_coefficient,
+    prefix_similarity,
+    qgram_jaccard,
+)
+from .tfidf import TfidfVectorizer, cosine_similarity, tfidf_cosine
+from .tokenize import normalize, padded_qgrams, qgrams, word_tokens
+from .vectorize import ComparisonSchema, FeatureSpec
+
+__all__ = [
+    "normalize",
+    "word_tokens",
+    "qgrams",
+    "padded_qgrams",
+    "exact_match",
+    "jaccard",
+    "dice",
+    "overlap_coefficient",
+    "qgram_jaccard",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler",
+    "monge_elkan",
+    "prefix_similarity",
+    "SIMILARITY_FUNCTIONS",
+    "parse_number",
+    "normalized_difference",
+    "relative_difference",
+    "year_similarity",
+    "TfidfVectorizer",
+    "cosine_similarity",
+    "tfidf_cosine",
+    "ComparisonSchema",
+    "FeatureSpec",
+]

@@ -1,0 +1,84 @@
+"""Numeric attribute comparisons.
+
+The Almser feature vectors the paper reuses (§5.2) compare numeric
+attributes such as prices with *normalised differences*; these helpers
+replicate that and return similarities in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = [
+    "parse_number",
+    "normalized_difference",
+    "relative_difference",
+    "year_similarity",
+]
+
+_NUMBER = re.compile(r"-?\d+(?:[.,]\d+)?")
+
+
+def parse_number(value):
+    """Extract the first number from ``value``; ``None`` when absent.
+
+    Handles thousands separators like ``1,299.00`` by treating a comma
+    followed by exactly three digits as a separator.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value) if math.isfinite(float(value)) else None
+    text = str(value)
+    text = re.sub(r"(\d),(\d{3})(?!\d)", r"\1\2", text)
+    match = _NUMBER.search(text)
+    if match is None:
+        return None
+    return float(match.group(0).replace(",", "."))
+
+
+def normalized_difference(a, b):
+    """``1 − |a − b| / max(|a|, |b|)`` clipped to ``[0, 1]``.
+
+    Both values missing compares as 1.0, one missing as 0.0, matching
+    the string-similarity convention.
+    """
+    na, nb = parse_number(a), parse_number(b)
+    if na is None and nb is None:
+        return 1.0
+    if na is None or nb is None:
+        return 0.0
+    scale = max(abs(na), abs(nb))
+    if scale == 0:
+        return 1.0
+    return max(0.0, 1.0 - abs(na - nb) / scale)
+
+
+def relative_difference(a, b, tolerance=0.1):
+    """1.0 inside a relative ``tolerance`` band, decaying linearly to 0.
+
+    Useful for prices that differ by rounding or currency display.
+    """
+    na, nb = parse_number(a), parse_number(b)
+    if na is None and nb is None:
+        return 1.0
+    if na is None or nb is None:
+        return 0.0
+    scale = max(abs(na), abs(nb))
+    if scale == 0:
+        return 1.0
+    relative = abs(na - nb) / scale
+    if relative <= tolerance:
+        return 1.0
+    return max(0.0, 1.0 - (relative - tolerance) / (1.0 - tolerance))
+
+
+def year_similarity(a, b, max_gap=10):
+    """Linear similarity of two year values with a ``max_gap`` horizon."""
+    na, nb = parse_number(a), parse_number(b)
+    if na is None and nb is None:
+        return 1.0
+    if na is None or nb is None:
+        return 0.0
+    return max(0.0, 1.0 - abs(na - nb) / max_gap)

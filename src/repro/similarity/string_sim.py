@@ -1,0 +1,204 @@
+"""String similarity functions (Christen 2012, ch. 5).
+
+All functions return similarities in ``[0, 1]`` where 1 means identical,
+the range the paper's feature vectors assume (§2). Missing values
+(``None`` / empty after normalisation) compare as 0 similarity unless
+both sides are missing, which compares as 1 — an explicit, documented
+convention also applied by the dataset loaders.
+"""
+
+from __future__ import annotations
+
+from .tokenize import normalize, padded_qgrams, word_tokens
+
+__all__ = [
+    "exact_match",
+    "jaccard",
+    "dice",
+    "overlap_coefficient",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler",
+    "monge_elkan",
+    "qgram_jaccard",
+    "prefix_similarity",
+    "SIMILARITY_FUNCTIONS",
+]
+
+
+def _both_missing(a, b):
+    return not normalize(a) and not normalize(b)
+
+
+def exact_match(a, b):
+    """1.0 when the normalised values are identical, else 0.0."""
+    na, nb = normalize(a), normalize(b)
+    if not na and not nb:
+        return 1.0
+    return 1.0 if na == nb else 0.0
+
+
+def _set_similarity(tokens_a, tokens_b, kind):
+    set_a, set_b = set(tokens_a), set(tokens_b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    intersection = len(set_a & set_b)
+    if kind == "jaccard":
+        return intersection / len(set_a | set_b)
+    if kind == "dice":
+        return 2 * intersection / (len(set_a) + len(set_b))
+    if kind == "overlap":
+        return intersection / min(len(set_a), len(set_b))
+    raise ValueError(f"unknown set similarity {kind!r}")
+
+
+def jaccard(a, b):
+    """Token Jaccard — the function of the paper's Fig. 2 example."""
+    return _set_similarity(word_tokens(a), word_tokens(b), "jaccard")
+
+
+def dice(a, b):
+    """Token Dice coefficient."""
+    return _set_similarity(word_tokens(a), word_tokens(b), "dice")
+
+
+def overlap_coefficient(a, b):
+    """Token overlap coefficient."""
+    return _set_similarity(word_tokens(a), word_tokens(b), "overlap")
+
+
+def qgram_jaccard(a, b, q=2):
+    """Jaccard over padded character q-grams (robust to typos)."""
+    return _set_similarity(padded_qgrams(a, q), padded_qgrams(b, q), "jaccard")
+
+
+def levenshtein_distance(a, b):
+    """Classic edit distance on the normalised strings (two-row DP)."""
+    sa, sb = normalize(a), normalize(b)
+    if sa == sb:
+        return 0
+    if not sa:
+        return len(sb)
+    if not sb:
+        return len(sa)
+    if len(sa) < len(sb):
+        sa, sb = sb, sa
+    previous = list(range(len(sb) + 1))
+    for i, ca in enumerate(sa, start=1):
+        current = [i]
+        for j, cb in enumerate(sb, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a, b):
+    """1 − normalised edit distance."""
+    if _both_missing(a, b):
+        return 1.0
+    sa, sb = normalize(a), normalize(b)
+    if not sa or not sb:
+        return 0.0
+    longest = max(len(sa), len(sb))
+    return 1.0 - levenshtein_distance(sa, sb) / longest
+
+
+def jaro_similarity(a, b):
+    """Jaro similarity on normalised strings."""
+    sa, sb = normalize(a), normalize(b)
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    if sa == sb:
+        return 1.0
+    window = max(len(sa), len(sb)) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len(sa)
+    matched_b = [False] * len(sb)
+    matches = 0
+    for i, ca in enumerate(sa):
+        lo = max(0, i - window)
+        hi = min(len(sb), i + window + 1)
+        for j in range(lo, hi):
+            if not matched_b[j] and sb[j] == ca:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len(sa)):
+        if matched_a[i]:
+            while not matched_b[j]:
+                j += 1
+            if sa[i] != sb[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / len(sa)
+        + matches / len(sb)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a, b, prefix_weight=0.1, max_prefix=4):
+    """Jaro–Winkler: Jaro boosted by the common prefix length."""
+    jaro = jaro_similarity(a, b)
+    if jaro == 0.0:
+        return 0.0
+    sa, sb = normalize(a), normalize(b)
+    prefix = 0
+    for ca, cb in zip(sa, sb):
+        if ca != cb or prefix >= max_prefix:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def monge_elkan(a, b, inner=jaro_winkler):
+    """Monge–Elkan: mean best inner similarity of a's tokens against b's."""
+    tokens_a = word_tokens(a)
+    tokens_b = word_tokens(b)
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    total = 0.0
+    for token_a in tokens_a:
+        total += max(inner(token_a, token_b) for token_b in tokens_b)
+    return total / len(tokens_a)
+
+
+def prefix_similarity(a, b, length=4):
+    """1.0 when the first ``length`` normalised characters agree."""
+    sa, sb = normalize(a), normalize(b)
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return 1.0 if sa[:length] == sb[:length] else 0.0
+
+
+#: Name -> callable registry used by comparison schemas.
+SIMILARITY_FUNCTIONS = {
+    "exact": exact_match,
+    "jaccard": jaccard,
+    "dice": dice,
+    "overlap": overlap_coefficient,
+    "qgram_jaccard": qgram_jaccard,
+    "levenshtein": levenshtein_similarity,
+    "jaro": jaro_similarity,
+    "jaro_winkler": jaro_winkler,
+    "monge_elkan": monge_elkan,
+    "prefix": prefix_similarity,
+}

@@ -1,0 +1,105 @@
+"""TF-IDF vectorisation and cosine similarity.
+
+Serves two roles: a similarity feature over long textual attributes, and
+the "record embedding" substitute used when heterogeneous sources share
+no aligned attributes (§4.2 recommends embedding records in that case).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .tokenize import word_tokens
+
+__all__ = ["TfidfVectorizer", "cosine_similarity", "tfidf_cosine"]
+
+
+class TfidfVectorizer:
+    """Fit a vocabulary + IDF weights, transform texts to dense vectors.
+
+    Parameters
+    ----------
+    max_features : int, optional
+        Keep only the most frequent terms.
+    tokenizer : callable
+        Text -> token list; defaults to word tokens.
+    sublinear_tf : bool
+        Use ``1 + log(tf)`` term frequencies.
+    """
+
+    def __init__(self, max_features=None, tokenizer=word_tokens,
+                 sublinear_tf=True):
+        self.max_features = max_features
+        self.tokenizer = tokenizer
+        self.sublinear_tf = sublinear_tf
+
+    def fit(self, texts):
+        """Learn vocabulary and IDF from an iterable of texts."""
+        document_frequency = {}
+        n_documents = 0
+        for text in texts:
+            n_documents += 1
+            for token in set(self.tokenizer(text)):
+                document_frequency[token] = document_frequency.get(token, 0) + 1
+        if n_documents == 0:
+            raise ValueError("cannot fit a TF-IDF model on zero documents")
+        terms = sorted(
+            document_frequency,
+            key=lambda t: (-document_frequency[t], t),
+        )
+        if self.max_features is not None:
+            terms = terms[: self.max_features]
+        self.vocabulary_ = {term: i for i, term in enumerate(sorted(terms))}
+        self.idf_ = np.zeros(len(self.vocabulary_))
+        for term, index in self.vocabulary_.items():
+            # Smoothed IDF, as in scikit-learn.
+            self.idf_[index] = (
+                math.log((1 + n_documents) / (1 + document_frequency[term])) + 1
+            )
+        return self
+
+    def transform(self, texts):
+        """Return the ``(n_texts, n_terms)`` L2-normalised TF-IDF matrix."""
+        if not hasattr(self, "vocabulary_"):
+            raise RuntimeError("TfidfVectorizer is not fitted")
+        matrix = np.zeros((len(texts), len(self.vocabulary_)))
+        for row, text in enumerate(texts):
+            counts = {}
+            for token in self.tokenizer(text):
+                index = self.vocabulary_.get(token)
+                if index is not None:
+                    counts[index] = counts.get(index, 0) + 1
+            for index, count in counts.items():
+                tf = 1 + math.log(count) if self.sublinear_tf else float(count)
+                matrix[row, index] = tf * self.idf_[index]
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        return matrix / np.maximum(norms, 1e-12)
+
+    def fit_transform(self, texts):
+        """Fit then transform in one call."""
+        return self.fit(texts).transform(texts)
+
+
+def cosine_similarity(a, b):
+    """Cosine similarity of two 1-d vectors (0 for zero vectors)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na == 0 or nb == 0:
+        return 0.0
+    return float(np.clip(a @ b / (na * nb), -1.0, 1.0))
+
+
+def tfidf_cosine(texts_a, texts_b, max_features=None):
+    """Pairwise cosine of two aligned text lists under a joint TF-IDF fit."""
+    if len(texts_a) != len(texts_b):
+        raise ValueError("text lists must be aligned")
+    vectorizer = TfidfVectorizer(max_features=max_features)
+    joint = list(texts_a) + list(texts_b)
+    matrix = vectorizer.fit_transform(joint)
+    va = matrix[: len(texts_a)]
+    vb = matrix[len(texts_a):]
+    return np.clip(np.sum(va * vb, axis=1), 0.0, 1.0)

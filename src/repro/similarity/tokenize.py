@@ -1,0 +1,43 @@
+"""Tokenisation helpers for string comparison functions."""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["normalize", "word_tokens", "qgrams", "padded_qgrams"]
+
+_NON_ALNUM = re.compile(r"[^a-z0-9]+")
+
+
+def normalize(value):
+    """Lower-case and collapse non-alphanumerics to single spaces.
+
+    ``None`` (a missing attribute value) normalises to the empty string,
+    which every similarity function treats as "no evidence".
+    """
+    if value is None:
+        return ""
+    return _NON_ALNUM.sub(" ", str(value).lower()).strip()
+
+
+def word_tokens(value):
+    """Whitespace tokens of the normalised value (list, order kept)."""
+    text = normalize(value)
+    return text.split() if text else []
+
+
+def qgrams(value, q=2):
+    """Character q-grams of the normalised value (list, order kept)."""
+    text = normalize(value).replace(" ", "_")
+    if len(text) < q:
+        return [text] if text else []
+    return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+
+def padded_qgrams(value, q=2, pad="#"):
+    """q-grams with start/end padding so boundaries carry weight."""
+    text = normalize(value).replace(" ", "_")
+    if not text:
+        return []
+    padded = pad * (q - 1) + text + pad * (q - 1)
+    return [padded[i : i + q] for i in range(len(padded) - q + 1)]

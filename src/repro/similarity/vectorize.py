@@ -1,0 +1,95 @@
+"""Comparison schemas: record pairs -> similarity feature vectors.
+
+An ER problem :math:`p_{k,l}` is a set of similarity feature vectors
+(§2); this module builds them. A :class:`ComparisonSchema` is an ordered
+list of :class:`FeatureSpec` (attribute + similarity function), applied
+to every candidate record pair of a data source pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .numeric import normalized_difference, relative_difference
+from .string_sim import SIMILARITY_FUNCTIONS
+
+__all__ = ["FeatureSpec", "ComparisonSchema"]
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One similarity feature: ``function(record_a[attr], record_b[attr])``.
+
+    Attributes
+    ----------
+    attribute : str
+        Record attribute to compare.
+    function : str or callable
+        Name in :data:`SIMILARITY_FUNCTIONS` / ``{"numeric", "relative"}``
+        or a custom ``(value_a, value_b) -> float`` callable.
+    name : str
+        Feature label, defaults to ``"<function>(<attribute>)"``.
+    """
+
+    attribute: str
+    function: "str | Callable" = "jaccard"
+    name: str = field(default="")
+
+    def resolve(self):
+        """Return ``(label, callable)`` for this spec."""
+        if callable(self.function):
+            func = self.function
+            func_name = getattr(self.function, "__name__", "custom")
+        elif self.function == "numeric":
+            func = normalized_difference
+            func_name = "numeric"
+        elif self.function == "relative":
+            func = relative_difference
+            func_name = "relative"
+        elif self.function in SIMILARITY_FUNCTIONS:
+            func = SIMILARITY_FUNCTIONS[self.function]
+            func_name = self.function
+        else:
+            raise ValueError(f"unknown similarity function {self.function!r}")
+        label = self.name or f"{func_name}({self.attribute})"
+        return label, func
+
+
+class ComparisonSchema:
+    """Ordered feature specification shared by all ER problems of a domain.
+
+    MoRER assumes ER problems share a feature space (§2); using one
+    schema per domain guarantees that.
+    """
+
+    def __init__(self, specs):
+        self.specs = list(specs)
+        if not self.specs:
+            raise ValueError("a comparison schema needs at least one feature")
+        resolved = [spec.resolve() for spec in self.specs]
+        self.feature_names = [label for label, _ in resolved]
+        if len(set(self.feature_names)) != len(self.feature_names):
+            raise ValueError("duplicate feature names in schema")
+        self._functions = [func for _, func in resolved]
+
+    def __len__(self):
+        return len(self.specs)
+
+    def compare(self, record_a, record_b):
+        """Similarity feature vector for one record pair (1-d array)."""
+        vector = np.empty(len(self.specs))
+        for i, (spec, func) in enumerate(zip(self.specs, self._functions)):
+            vector[i] = func(
+                record_a.get(spec.attribute), record_b.get(spec.attribute)
+            )
+        return vector
+
+    def compare_pairs(self, pairs):
+        """Feature matrix for an iterable of ``(record_a, record_b)``."""
+        rows = [self.compare(a, b) for a, b in pairs]
+        if not rows:
+            return np.empty((0, len(self.specs)))
+        return np.vstack(rows)

@@ -1,0 +1,88 @@
+"""Shared fixtures: synthetic ER problems and tiny benchmark splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ERProblem
+from repro.datasets import load_benchmark
+
+
+def make_problem(source_a="A", source_b="B", n=120, shift=0.0, seed=0,
+                 n_features=4, match_fraction=0.4, with_pairs=True):
+    """Synthetic ER problem: matches high similarity, non-matches low.
+
+    ``shift`` moves the similarity distributions so problems with
+    different shifts are distinguishable by the distribution tests.
+    """
+    rng = np.random.default_rng(seed)
+    n_matches = int(n * match_fraction)
+    n_non = n - n_matches
+    # `shift` narrows the gap symmetrically: regimes become
+    # distributionally distinct while classes stay separable.
+    matches = np.clip(
+        rng.normal(0.84 - 0.45 * shift, 0.07, size=(n_matches, n_features)),
+        0, 1,
+    )
+    non_matches = np.clip(
+        rng.normal(0.22 + 0.45 * shift, 0.08, size=(n_non, n_features)),
+        0, 1,
+    )
+    features = np.vstack([matches, non_matches])
+    labels = np.concatenate(
+        [np.ones(n_matches, dtype=int), np.zeros(n_non, dtype=int)]
+    )
+    order = rng.permutation(n)
+    pair_ids = None
+    if with_pairs:
+        pair_ids = [
+            (f"{source_a}-r{i}", f"{source_b}-r{i}") for i in range(n)
+        ]
+    return ERProblem(
+        source_a, source_b, features[order], labels[order],
+        None if pair_ids is None else [pair_ids[int(i)] for i in order],
+    )
+
+
+def make_problem_family(n_problems=6, seed=0, **kwargs):
+    """A family of problems over distinct source pairs, alternating two
+    distribution regimes (so clustering has something to find)."""
+    problems = []
+    for i in range(n_problems):
+        shift = 0.0 if i % 2 == 0 else 0.3
+        problems.append(
+            make_problem(
+                source_a=f"S{2 * i}", source_b=f"S{2 * i + 1}",
+                shift=shift, seed=seed + i, **kwargs,
+            )
+        )
+    return problems
+
+
+@pytest.fixture
+def toy_problem():
+    """One labelled synthetic ER problem."""
+    return make_problem()
+
+
+@pytest.fixture
+def problem_family():
+    """Six synthetic problems in two distribution regimes."""
+    return make_problem_family()
+
+
+@pytest.fixture(scope="session")
+def wdc_split():
+    """Tiny WDC-computer-like corpus split (shared across tests)."""
+    dataset, schema, split = load_benchmark(
+        "wdc-computer", scale=0.2, random_state=0
+    )
+    return dataset, schema, split
+
+
+@pytest.fixture(scope="session")
+def music_split():
+    """Tiny Music-like corpus split (shared across tests)."""
+    dataset, schema, split = load_benchmark("music", scale=0.2, random_state=0)
+    return dataset, schema, split

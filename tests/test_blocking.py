@@ -1,0 +1,98 @@
+"""Blocking / candidate generation tests."""
+
+import pytest
+
+from repro.blocking import (
+    block_records,
+    embedding_topk_pairs,
+    sorted_neighbourhood_pairs,
+    standard_blocking_pairs,
+    token_blocking_pairs,
+)
+
+
+def _records(source, titles):
+    return [
+        {"id": f"{source}{i}", "title": title}
+        for i, title in enumerate(titles)
+    ]
+
+
+def test_block_records_groups_by_key():
+    records = _records("a", ["x one", "x two", "y three"])
+    blocks = block_records(records, lambda r: r["title"].split()[0])
+    assert len(blocks["x"]) == 2 and len(blocks["y"]) == 1
+
+
+def test_block_records_multikey_and_none():
+    records = _records("a", ["x", "y"])
+    blocks = block_records(
+        records, lambda r: None if r["title"] == "y" else ["k1", "k2"]
+    )
+    assert set(blocks) == {"k1", "k2"}
+
+
+def test_standard_blocking_only_same_key():
+    a = _records("a", ["canon camera", "sony tv"])
+    b = _records("b", ["canon kit", "lg monitor"])
+    pairs = list(standard_blocking_pairs(
+        a, b, lambda r: r["title"].split()[0]
+    ))
+    assert len(pairs) == 1
+    assert pairs[0][0]["title"] == "canon camera"
+
+
+def test_standard_blocking_max_block_size_skips_huge_blocks():
+    a = _records("a", ["k"] * 10)
+    b = _records("b", ["k"] * 10)
+    pairs = list(standard_blocking_pairs(
+        a, b, lambda r: r["title"], max_block_size=50
+    ))
+    assert pairs == []
+
+
+def test_sorted_neighbourhood_window():
+    a = _records("a", ["aa", "cc", "ee"])
+    b = _records("b", ["bb", "dd"])
+    pairs = list(sorted_neighbourhood_pairs(
+        a, b, lambda r: r["title"], window=2
+    ))
+    # window=2: only adjacent entries pair up; all cross-source adjacents.
+    assert all(pa["id"].startswith("a") and pb["id"].startswith("b")
+               for pa, pb in pairs)
+    assert len(pairs) >= 2
+
+
+def test_sorted_neighbourhood_rejects_tiny_window():
+    with pytest.raises(ValueError, match="window"):
+        list(sorted_neighbourhood_pairs([], [], lambda r: 1, window=1))
+
+
+def test_token_blocking_shares_token():
+    a = _records("a", ["canon eos 70d", "sony a7"])
+    b = _records("b", ["canon powershot", "nikon z6"])
+    pairs = list(token_blocking_pairs(a, b, "title"))
+    assert len(pairs) == 1
+    assert pairs[0][1]["title"] == "canon powershot"
+
+
+def test_token_blocking_stopword_guard():
+    a = _records("a", ["common token"] * 60)
+    b = _records("b", ["common token"] * 60)
+    pairs = list(token_blocking_pairs(a, b, "title",
+                                      max_token_frequency=50))
+    assert pairs == []
+
+
+def test_embedding_topk_returns_k_per_record():
+    a = _records("a", ["canon eos camera", "sony alpha camera"])
+    b = _records("b", ["canon eos kit", "sony alpha body", "nikon z lens"])
+    pairs = list(embedding_topk_pairs(a, b, attributes=["title"], k=2))
+    assert len(pairs) == 4  # 2 records x top-2
+
+
+def test_embedding_topk_ranks_similar_first():
+    a = _records("a", ["canon eos camera"])
+    b = _records("b", ["canon eos camera deluxe", "unrelated thing"])
+    pairs = list(embedding_topk_pairs(a, b, attributes=["title"], k=1))
+    assert pairs[0][1]["title"] == "canon eos camera deluxe"

@@ -1,0 +1,74 @@
+"""Micro-scale runs of the remaining experiment drivers (fig5/fig6).
+
+The benches run these at report scale; here they are exercised at the
+smallest scale that still produces meaningful rows, so driver
+regressions are caught by `pytest tests/` alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MoRER, repository_health
+from repro.datasets import load_benchmark
+from repro.experiments import run_fig5, run_fig6
+
+
+@pytest.fixture(scope="module")
+def micro_kwargs():
+    return {"datasets": ("wdc-computer",), "scale": 0.15, "random_state": 0}
+
+
+def test_run_fig5_rows_complete(micro_kwargs):
+    rows = run_fig5(budgets=(30,), include_lm=False, **micro_kwargs)
+    methods = {r["method"] for r in rows}
+    assert {"morer+bootstrap", "morer+almser", "almser",
+            "morer-supervised", "transer"} <= methods
+    for r in rows:
+        assert r["total_s"] > 0
+        assert r["analysis_clustering_s"] >= 0
+        assert r["selection_s"] >= 0
+        if r["method"].startswith("morer"):
+            overhead = r["analysis_clustering_s"] + r["selection_s"]
+            assert overhead <= r["total_s"] + 1e-9
+
+
+def test_run_fig6_grid_complete(micro_kwargs):
+    rows = run_fig6(budgets=(30,), tests=("ks", "wd", "psi", "c2st"),
+                    al_methods=("bootstrap",), **micro_kwargs)
+    assert len(rows) == 4
+    tests_seen = {r["test"] for r in rows}
+    assert tests_seen == {"ks", "wd", "psi", "c2st"}
+    for r in rows:
+        assert 0.0 <= r["f1"] <= 1.0
+
+
+def test_repository_health_on_benchmark_corpus():
+    _, _, split = load_benchmark("wdc-computer", scale=0.15, random_state=0)
+    morer = MoRER(b_total=40, b_min=10, random_state=0).fit(split.initial)
+    report = repository_health(morer, n_runs=2)
+    assert len(report) == len(morer.repository)
+    for row in report:
+        assert 0.0 <= row["conductance"] <= 1.0
+        assert -1.0 <= row["mean_silhouette"] <= 1.0
+        assert -0.5 <= row["perturbation_stability"] <= 1.0
+
+
+def test_sel_cov_then_persistence_roundtrip(tmp_path):
+    """Integration: fit, integrate new problems with sel_cov, persist,
+    reload, and keep serving identical predictions."""
+    from repro.core import ModelRepository
+
+    _, _, split = load_benchmark("music", scale=0.15, random_state=1)
+    morer = MoRER(b_total=40, b_min=10, selection="cov", t_cov=0.2,
+                  random_state=1).fit(split.initial)
+    for problem in split.unsolved[:3]:
+        morer.solve(problem)
+    morer.repository.save(tmp_path / "store")
+    reloaded = ModelRepository.load(tmp_path / "store")
+    probe = split.unsolved[-1]
+    entry_a, _ = morer.repository.search(probe.without_labels())
+    entry_b, _ = reloaded.search(probe.without_labels())
+    assert np.array_equal(
+        entry_a.predict(probe.features), entry_b.predict(probe.features)
+    )
+    assert reloaded.total_labels_spent() == morer.repository.total_labels_spent()

@@ -1,0 +1,142 @@
+"""Integration tests: the experiment harness at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    concat_predictions,
+    evaluate_almser_standalone,
+    evaluate_morer,
+    evaluate_transer,
+    format_prf,
+    format_table,
+    heterogeneity_score,
+    rows_to_csv,
+    run_fig2,
+    run_table2,
+    run_table5,
+    speedup_rows,
+    subsample_problems,
+)
+from repro.experiments.harness import MethodResult
+from tests.conftest import make_problem
+
+
+def test_run_table2_shapes():
+    headers, rows = run_table2(scale=0.12, random_state=0)
+    assert len(rows) == 3
+    assert headers[0] == "Name"
+    names = {row[0] for row in rows}
+    assert names == {"dexter", "wdc-computer", "music"}
+    for row in rows:
+        assert row[2] > row[3] > 0  # pairs > matches > 0
+
+
+def test_evaluate_morer_on_tiny_benchmark(wdc_split):
+    _, _, split = wdc_split
+    result = evaluate_morer("wdc-computer", split, budget=40,
+                            al_method="bootstrap", random_state=0)
+    assert result.f1 > 0.5
+    assert result.labels_used <= 40
+    assert result.extra["n_clusters"] >= 1
+    assert result.runtime_seconds > 0
+
+
+def test_evaluate_morer_supervised(wdc_split):
+    _, _, split = wdc_split
+    result = evaluate_morer("wdc-computer", split,
+                            supervised_fraction=0.5, random_state=0)
+    assert result.method == "morer-supervised"
+    assert result.budget == "50%"
+    assert result.f1 > 0.5
+
+
+def test_evaluate_morer_sel_cov_tracks_extra_labels(music_split):
+    _, _, split = music_split
+    result = evaluate_morer("music", split, budget=40, selection="cov",
+                            t_cov=0.1, random_state=0)
+    assert result.extra["extra_labels"] >= 0
+    assert result.extra["selection"] == "cov"
+
+
+def test_evaluate_almser_standalone(wdc_split):
+    _, _, split = wdc_split
+    result = evaluate_almser_standalone("wdc-computer", split, budget=40,
+                                        random_state=0)
+    assert result.method == "almser"
+    assert result.labels_used == 40
+    assert result.f1 > 0.4
+
+
+def test_evaluate_transer(wdc_split):
+    _, _, split = wdc_split
+    result = evaluate_transer("wdc-computer", split, fraction=0.5,
+                              random_state=0)
+    assert result.method == "transer"
+    assert 0.0 <= result.f1 <= 1.0
+
+
+def test_subsample_problems_fraction():
+    problems = [make_problem(n=100, seed=0)]
+    halved = subsample_problems(problems, 0.5, random_state=0)
+    assert halved[0].n_pairs == 50
+    full = subsample_problems(problems, 1.0)
+    assert full[0].n_pairs == 100
+    with pytest.raises(ValueError, match="fraction"):
+        subsample_problems(problems, 0.0)
+
+
+def test_concat_predictions_scores():
+    problems = [make_problem(n=50, seed=i) for i in range(2)]
+    perfect = [p.labels for p in problems]
+    p, r, f1 = concat_predictions(problems, perfect)
+    assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+
+def test_run_fig2_histograms():
+    edges, series = run_fig2(scale=0.15, random_state=0)
+    assert len(edges) == 11
+    for histograms in series.values():
+        assert histograms["matches"].sum() > 0
+        assert histograms["non_matches"].sum() > 0
+    assert heterogeneity_score(series) > 0.05
+
+
+def test_run_table5_speedups_structure():
+    results = [
+        MethodResult("morer+bootstrap", "music", 100, 0.9, 0.9, 0.9, 2.0),
+        MethodResult("almser", "music", 100, 0.9, 0.9, 0.9, 8.0),
+        MethodResult("ditto", "music", "50%", 0.9, 0.9, 0.9, 20.0),
+    ]
+    speedups = run_table5(results)
+    factors = speedups["morer+bootstrap"]["music"]
+    assert factors["100"]["almser"] == pytest.approx(4.0)
+    # Cross-cell comparison uses the fastest MoRER run.
+    assert factors["50%"]["ditto"] == pytest.approx(10.0)
+    headers, rows = speedup_rows(speedups)
+    assert headers[0] == "MoRER variant"
+    assert rows
+
+
+def test_reporting_helpers():
+    assert format_prf(0.5, 0.25, 0.333) == "0.50/0.25/0.33"
+    table = format_table(["a", "bb"], [[1, 22], [333, 4]])
+    lines = table.splitlines()
+    assert "a" in lines[0] and "-+-" in lines[1]
+    csv_text = rows_to_csv(["x", "y"], [[1, 2]])
+    assert csv_text.splitlines()[0] == "x,y"
+
+
+def test_morer_beats_budget_equal_sudowoodo_shape(wdc_split):
+    """The paper's headline: under equal budgets MoRER >> self-supervised
+    LM methods on heterogeneous product data."""
+    dataset, _, split = wdc_split
+    from repro.experiments import evaluate_lm_baseline
+
+    morer = evaluate_morer("wdc-computer", split, budget=40,
+                           al_method="bootstrap", random_state=0)
+    sudowoodo = evaluate_lm_baseline(
+        "sudowoodo", "wdc-computer", dataset, split, budget=40,
+        random_state=0, epochs=2,
+    )
+    assert morer.f1 > sudowoodo.f1

@@ -1,0 +1,108 @@
+"""Random forest and bagging committee tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BaggingClassifier,
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+)
+
+
+def _data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = ((X[:, 0] + X[:, 2]) > 0).astype(int)
+    return X, y
+
+
+def test_forest_beats_chance():
+    X, y = _data()
+    forest = RandomForestClassifier(n_estimators=15, random_state=0).fit(X, y)
+    assert forest.score(X, y) > 0.9
+
+
+def test_forest_proba_shape_and_normalisation():
+    X, y = _data()
+    forest = RandomForestClassifier(n_estimators=8, random_state=0).fit(X, y)
+    proba = forest.predict_proba(X[:10])
+    assert proba.shape == (10, 2)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_forest_deterministic_with_seed():
+    X, y = _data(150)
+    f1 = RandomForestClassifier(n_estimators=6, random_state=3).fit(X, y)
+    f2 = RandomForestClassifier(n_estimators=6, random_state=3).fit(X, y)
+    assert np.array_equal(f1.predict(X), f2.predict(X))
+
+
+def test_forest_n_estimators_validated():
+    with pytest.raises(ValueError, match="n_estimators"):
+        RandomForestClassifier(n_estimators=0).fit(*_data(30))
+
+
+def test_forest_without_bootstrap():
+    X, y = _data(120)
+    forest = RandomForestClassifier(
+        n_estimators=4, bootstrap=False, random_state=0
+    ).fit(X, y)
+    assert forest.score(X, y) > 0.9
+
+
+def test_forest_handles_heavy_imbalance():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 4))
+    y = np.zeros(200, dtype=int)
+    y[:5] = 1
+    X[:5] += 4.0
+    forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+    assert set(np.unique(forest.predict(X))) <= {0, 1}
+    # The rare class must be representable (stratified bootstrap).
+    assert forest.predict_proba(X[:5])[:, 1].mean() > 0.3
+
+
+def test_bagging_vote_matrix_shape():
+    X, y = _data(100)
+    committee = BaggingClassifier(
+        base_estimator=DecisionTreeClassifier(max_depth=4),
+        n_estimators=7, random_state=0,
+    ).fit(X, y)
+    votes = committee.vote_matrix(X[:9])
+    assert votes.shape == (7, 9)
+
+
+def test_bagging_uncertainty_profile():
+    """Vote shares are in [0,1] and ambiguous points are uncertain."""
+    X, y = _data(400, seed=2)
+    committee = BaggingClassifier(n_estimators=11, random_state=0).fit(X, y)
+    proba = committee.predict_proba(X)
+    assert proba.min() >= 0 and proba.max() <= 1
+    share = proba[:, 1]
+    uncertainty = share * (1 - share)
+    # Points near the true boundary should be more uncertain on average.
+    boundary = np.abs(X[:, 0] + X[:, 2]) < 0.2
+    if boundary.sum() > 5:
+        assert uncertainty[boundary].mean() >= uncertainty.mean() * 0.5
+
+
+def test_bagging_default_base_estimator():
+    X, y = _data(80)
+    committee = BaggingClassifier(n_estimators=3, random_state=0).fit(X, y)
+    assert committee.score(X, y) > 0.7
+
+
+def test_forest_serialisation_roundtrip():
+    import json
+
+    X, y = _data(100)
+    forest = RandomForestClassifier(n_estimators=4, random_state=1).fit(X, y)
+    rebuilt = RandomForestClassifier.from_dict(
+        json.loads(json.dumps(forest.to_dict()))
+    )
+    assert np.array_equal(forest.predict(X), rebuilt.predict(X))
+    proba_diff = np.abs(
+        forest.predict_proba(X) - rebuilt.predict_proba(X)
+    ).max()
+    assert proba_diff < 1e-12

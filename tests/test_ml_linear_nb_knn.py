@@ -1,0 +1,148 @@
+"""LogisticRegression, GaussianNB and kNN tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GaussianNB,
+    KNeighborsClassifier,
+    LogisticRegression,
+    NearestNeighbors,
+)
+from repro.ml.neighbors import pairwise_distances
+
+
+def _data(n=250, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = (X @ np.array([1.5, -2.0, 0.5]) > 0).astype(int)
+    return X, y
+
+
+# -- logistic regression ------------------------------------------------------
+
+
+def test_logreg_separable_accuracy():
+    X, y = _data()
+    model = LogisticRegression(max_iter=500).fit(X, y)
+    assert model.score(X, y) > 0.95
+
+
+def test_logreg_proba_calibration_direction():
+    X, y = _data()
+    model = LogisticRegression().fit(X, y)
+    proba = model.predict_proba(X)[:, 1]
+    assert proba[y == 1].mean() > proba[y == 0].mean()
+
+
+def test_logreg_single_class_degenerates_gracefully():
+    X = np.random.default_rng(0).normal(size=(20, 3))
+    y = np.ones(20, dtype=int)
+    model = LogisticRegression().fit(X, y)
+    assert np.all(model.predict(X) == 1)
+
+
+def test_logreg_multiclass_rejected():
+    X = np.random.default_rng(0).normal(size=(30, 2))
+    y = np.arange(30) % 3
+    with pytest.raises(ValueError, match="binary"):
+        LogisticRegression().fit(X, y)
+
+
+def test_logreg_balanced_improves_minority_recall():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(400, 2))
+    y = np.zeros(400, dtype=int)
+    y[:40] = 1
+    X[:40] += 1.2
+    plain = LogisticRegression().fit(X, y)
+    balanced = LogisticRegression(class_weight="balanced").fit(X, y)
+    recall_plain = plain.predict(X[:40]).mean()
+    recall_balanced = balanced.predict(X[:40]).mean()
+    assert recall_balanced >= recall_plain
+
+
+def test_logreg_regularisation_shrinks_weights():
+    X, y = _data()
+    weak = LogisticRegression(C=10.0).fit(X, y)
+    strong = LogisticRegression(C=0.01).fit(X, y)
+    assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+
+# -- Gaussian naive Bayes --------------------------------------------------------
+
+
+def test_gnb_accuracy_on_gaussian_blobs():
+    rng = np.random.default_rng(0)
+    X0 = rng.normal(-1, 0.5, size=(100, 2))
+    X1 = rng.normal(1, 0.5, size=(100, 2))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * 100 + [1] * 100)
+    model = GaussianNB().fit(X, y)
+    assert model.score(X, y) > 0.95
+
+
+def test_gnb_priors_match_frequencies():
+    X, y = _data(200)
+    model = GaussianNB().fit(X, y)
+    assert np.isclose(model.class_prior_.sum(), 1.0)
+    assert np.isclose(model.class_prior_[1], y.mean(), atol=1e-9)
+
+
+def test_gnb_proba_normalised():
+    X, y = _data(100)
+    proba = GaussianNB().fit(X, y).predict_proba(X)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+# -- nearest neighbours -------------------------------------------------------------
+
+
+def test_knn_predicts_training_points():
+    X, y = _data(150)
+    model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+    assert model.score(X, y) == 1.0
+
+
+def test_knn_distance_weighting():
+    X, y = _data(200, seed=1)
+    model = KNeighborsClassifier(n_neighbors=7, weights="distance").fit(X, y)
+    assert model.score(X, y) > 0.9
+
+
+def test_kneighbors_returns_sorted_distances():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(50, 4))
+    index = NearestNeighbors(n_neighbors=5).fit(X)
+    distances, indices = index.kneighbors(X[:3])
+    assert distances.shape == (3, 5)
+    assert np.all(np.diff(distances, axis=1) >= -1e-12)
+    # The closest neighbour of a training point is itself.
+    assert np.array_equal(indices[:, 0], np.arange(3))
+
+
+def test_kneighbors_k_capped_at_reference_size():
+    X = np.random.default_rng(0).normal(size=(4, 2))
+    index = NearestNeighbors(n_neighbors=10).fit(X)
+    distances, _ = index.kneighbors(X)
+    assert distances.shape == (4, 4)
+
+
+def test_pairwise_distances_metrics_agree_with_numpy():
+    rng = np.random.default_rng(2)
+    A = rng.normal(size=(6, 3))
+    B = rng.normal(size=(5, 3))
+    euclid = pairwise_distances(A, B, "euclidean")
+    manual = np.linalg.norm(A[:, None, :] - B[None, :, :], axis=2)
+    assert np.allclose(euclid, manual)
+    manhattan = pairwise_distances(A, B, "manhattan")
+    assert np.allclose(
+        manhattan, np.abs(A[:, None, :] - B[None, :, :]).sum(axis=2)
+    )
+    cosine = pairwise_distances(A, B, "cosine")
+    assert cosine.min() >= -1e-9 and cosine.max() <= 2 + 1e-9
+
+
+def test_pairwise_distances_unknown_metric():
+    with pytest.raises(ValueError, match="metric"):
+        pairwise_distances(np.ones((2, 2)), np.ones((2, 2)), "hamming")

@@ -1,0 +1,182 @@
+"""Metrics, splitting, cross-validation and preprocessing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    LabelEncoder,
+    MinMaxScaler,
+    StandardScaler,
+    StratifiedKFold,
+    accuracy_score,
+    confusion_counts,
+    cross_val_predict,
+    cross_val_score,
+    f1_score,
+    precision_recall_f1,
+    precision_score,
+    recall_score,
+    train_test_split,
+)
+
+# -- metrics -----------------------------------------------------------------
+
+
+def test_confusion_counts_basic():
+    y_true = np.array([1, 1, 0, 0, 1])
+    y_pred = np.array([1, 0, 0, 1, 1])
+    tp, fp, fn, tn = confusion_counts(y_true, y_pred)
+    assert (tp, fp, fn, tn) == (2, 1, 1, 1)
+
+
+def test_precision_recall_f1_known_values():
+    y_true = [1, 1, 1, 0, 0, 0]
+    y_pred = [1, 1, 0, 1, 0, 0]
+    assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+    assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+    assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+
+def test_empty_prediction_edge_cases():
+    assert precision_score([0, 0], [0, 0]) == 0.0
+    assert recall_score([0, 0], [1, 1]) == 0.0
+    assert f1_score([0, 0], [0, 0]) == 0.0
+
+
+def test_accuracy_score():
+    assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(ValueError, match="shape"):
+        f1_score([1, 0], [1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(0, 1), min_size=2, max_size=50),
+    st.integers(0, 10_000),
+)
+def test_f1_is_harmonic_mean_property(y_true, seed):
+    """Property: F1 == 2PR/(P+R) whenever P+R > 0."""
+    rng = np.random.default_rng(seed)
+    y_pred = rng.integers(0, 2, size=len(y_true))
+    p, r, f1 = precision_recall_f1(np.asarray(y_true), y_pred)
+    if p + r > 0:
+        assert f1 == pytest.approx(2 * p * r / (p + r))
+    else:
+        assert f1 == 0.0
+
+
+# -- splitting -----------------------------------------------------------------
+
+
+def test_train_test_split_sizes():
+    X = np.arange(100).reshape(-1, 1)
+    y = np.arange(100) % 2
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25,
+                                          random_state=0)
+    assert len(Xte) == 25 and len(Xtr) == 75
+    assert len(ytr) == 75 and len(yte) == 25
+
+
+def test_train_test_split_disjoint_and_complete():
+    X = np.arange(60)
+    (train, test) = train_test_split(X, test_size=0.3, random_state=1)
+    assert sorted(np.concatenate([train, test]).tolist()) == list(range(60))
+
+
+def test_train_test_split_stratified_preserves_ratio():
+    y = np.array([0] * 80 + [1] * 20)
+    X = np.arange(100)
+    _, _, ytr, yte = train_test_split(X, y, test_size=0.5, stratify=y,
+                                      random_state=0)
+    assert abs(yte.mean() - 0.2) < 0.05
+    assert abs(ytr.mean() - 0.2) < 0.05
+
+
+def test_train_test_split_invalid_size():
+    with pytest.raises(ValueError, match="test_size"):
+        train_test_split(np.arange(5), test_size=5)
+
+
+def test_stratified_kfold_partitions():
+    y = np.array([0] * 30 + [1] * 15)
+    X = np.arange(45)
+    splitter = StratifiedKFold(n_splits=3, random_state=0)
+    seen = []
+    for train, test in splitter.split(X, y):
+        assert set(train) & set(test) == set()
+        seen.extend(test.tolist())
+        # Roughly stratified folds.
+        assert 0.2 < y[test].mean() < 0.5
+    assert sorted(seen) == list(range(45))
+
+
+def test_cross_val_predict_covers_everything():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(60, 3))
+    y = (X[:, 0] > 0).astype(int)
+    predictions = cross_val_predict(
+        DecisionTreeClassifier(max_depth=3), X, y, cv=3, random_state=0
+    )
+    assert predictions.shape == (60,)
+    assert accuracy_score(y, predictions) > 0.7
+
+
+def test_cross_val_score_returns_per_fold():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(90, 3))
+    y = (X[:, 1] > 0).astype(int)
+    scores = cross_val_score(
+        DecisionTreeClassifier(max_depth=3), X, y, cv=3, random_state=0
+    )
+    assert len(scores) == 3
+    assert scores.mean() > 0.6
+
+
+# -- preprocessing -----------------------------------------------------------------
+
+
+def test_standard_scaler_zero_mean_unit_var():
+    rng = np.random.default_rng(0)
+    X = rng.normal(5, 3, size=(200, 4))
+    scaled = StandardScaler().fit_transform(X)
+    assert np.allclose(scaled.mean(axis=0), 0, atol=1e-9)
+    assert np.allclose(scaled.std(axis=0), 1, atol=1e-9)
+
+
+def test_standard_scaler_constant_feature_safe():
+    X = np.ones((10, 2))
+    scaled = StandardScaler().fit_transform(X)
+    assert np.all(np.isfinite(scaled))
+
+
+def test_standard_scaler_inverse_transform():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(50, 3))
+    scaler = StandardScaler().fit(X)
+    assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+
+def test_minmax_scaler_range():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-7, 3, size=(100, 2))
+    scaled = MinMaxScaler().fit_transform(X)
+    assert scaled.min() >= 0 and scaled.max() <= 1
+
+
+def test_label_encoder_roundtrip():
+    y = np.array(["b", "a", "c", "a"])
+    encoder = LabelEncoder().fit(y)
+    codes = encoder.transform(y)
+    assert np.array_equal(encoder.inverse_transform(codes), y)
+
+
+def test_label_encoder_unseen_raises():
+    encoder = LabelEncoder().fit(["a", "b"])
+    with pytest.raises(ValueError, match="unseen"):
+        encoder.transform(["z"])

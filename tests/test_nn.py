@@ -1,0 +1,366 @@
+"""Neural substrate tests: gradient checks and training sanity."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CLS_ID,
+    Dense,
+    Dropout,
+    Embedding,
+    HashingTokenizer,
+    LayerNorm,
+    MaskedMeanPool,
+    MultiHeadSelfAttention,
+    PAD_ID,
+    ReLU,
+    SEP_ID,
+    SGD,
+    TransformerEncoder,
+    bce_with_logits,
+    clip_gradients,
+    cross_entropy,
+    nt_xent,
+    serialize_pair,
+    serialize_record,
+)
+
+
+def numerical_grad(f, array, eps=1e-6, samples=6, rng=None):
+    """Central-difference gradient at randomly sampled coordinates."""
+    rng = rng or np.random.default_rng(0)
+    flat = array.ravel()
+    indices = rng.choice(flat.size, size=min(samples, flat.size),
+                         replace=False)
+    grads = {}
+    for i in indices:
+        original = flat[i]
+        flat[i] = original + eps
+        up = f()
+        flat[i] = original - eps
+        down = f()
+        flat[i] = original
+        grads[int(i)] = (up - down) / (2 * eps)
+    return grads
+
+
+def assert_grad_close(parameter, grads, atol=1e-5):
+    for i, numeric in grads.items():
+        analytic = parameter.grad.ravel()[i]
+        assert analytic == pytest.approx(numeric, abs=atol, rel=1e-3)
+
+
+# -- layers ---------------------------------------------------------------------
+
+
+def test_dense_gradcheck():
+    rng = np.random.default_rng(0)
+    layer = Dense(4, 3, rng=rng)
+    x = rng.normal(size=(5, 4))
+    target = rng.normal(size=(5, 3))
+
+    def loss():
+        return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+    out = layer.forward(x)
+    layer.backward(out - target)
+    assert_grad_close(layer.weight, numerical_grad(loss, layer.weight.value))
+    assert_grad_close(layer.bias, numerical_grad(loss, layer.bias.value))
+
+
+def test_dense_3d_input_shape():
+    layer = Dense(4, 2, rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).normal(size=(3, 5, 4))
+    assert layer.forward(x).shape == (3, 5, 2)
+    assert layer.backward(np.ones((3, 5, 2))).shape == x.shape
+
+
+def test_layernorm_gradcheck():
+    rng = np.random.default_rng(1)
+    layer = LayerNorm(6)
+    x = rng.normal(size=(4, 6))
+    target = rng.normal(size=(4, 6))
+
+    def loss():
+        return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+    out = layer.forward(x)
+    grad_in = layer.backward(out - target)
+    # Check input gradient numerically too.
+    grads_x = numerical_grad(loss, x)
+    for i, numeric in grads_x.items():
+        assert grad_in.ravel()[i] == pytest.approx(numeric, abs=1e-5)
+    assert_grad_close(layer.gamma, numerical_grad(loss, layer.gamma.value))
+
+
+def test_layernorm_output_standardised():
+    x = np.random.default_rng(0).normal(3.0, 2.0, size=(8, 16))
+    out = LayerNorm(16).forward(x)
+    assert np.allclose(out.mean(axis=-1), 0, atol=1e-6)
+    assert np.allclose(out.std(axis=-1), 1, atol=1e-2)
+
+
+def test_relu_masks_negative():
+    relu = ReLU()
+    x = np.array([[-1.0, 2.0]])
+    assert np.array_equal(relu.forward(x), [[0.0, 2.0]])
+    assert np.array_equal(relu.backward(np.ones_like(x)), [[0.0, 1.0]])
+
+
+def test_dropout_inference_identity_and_training_scales():
+    drop = Dropout(0.5, rng=np.random.default_rng(0))
+    x = np.ones((400, 4))
+    assert np.array_equal(drop.forward(x, training=False), x)
+    out = drop.forward(x, training=True)
+    # Inverted dropout keeps the expectation.
+    assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+
+def test_dropout_invalid_p():
+    with pytest.raises(ValueError, match="probability"):
+        Dropout(1.0)
+
+
+def test_embedding_lookup_and_grad_accumulation():
+    emb = Embedding(10, 4, rng=np.random.default_rng(0))
+    ids = np.array([[1, 1, 2]])
+    out = emb.forward(ids)
+    assert out.shape == (1, 3, 4)
+    emb.backward(np.ones((1, 3, 4)))
+    # Token 1 appears twice -> accumulated gradient of 2.
+    assert np.allclose(emb.table.grad[1], 2.0)
+    assert np.allclose(emb.table.grad[2], 1.0)
+    assert np.allclose(emb.table.grad[3], 0.0)
+
+
+def test_attention_gradcheck_small():
+    rng = np.random.default_rng(2)
+    attention = MultiHeadSelfAttention(4, n_heads=2, rng=rng)
+    x = rng.normal(size=(2, 3, 4))
+    target = rng.normal(size=(2, 3, 4))
+
+    def loss():
+        return 0.5 * float(np.sum((attention.forward(x) - target) ** 2))
+
+    out = attention.forward(x)
+    attention.backward(out - target)
+    assert_grad_close(
+        attention.qkv.weight, numerical_grad(loss, attention.qkv.weight.value)
+    )
+    assert_grad_close(
+        attention.out.weight, numerical_grad(loss, attention.out.weight.value)
+    )
+
+
+def test_attention_mask_blocks_padding():
+    rng = np.random.default_rng(3)
+    attention = MultiHeadSelfAttention(4, n_heads=1, rng=rng)
+    x = rng.normal(size=(1, 4, 4))
+    mask = np.array([[1, 1, 0, 0]])
+    out_masked = attention.forward(x, mask=mask)
+    x2 = x.copy()
+    x2[0, 2:] = 99.0  # content of padded positions must not matter...
+    out_masked2 = attention.forward(x2, mask=mask)
+    assert np.allclose(out_masked[0, :2], out_masked2[0, :2], atol=1e-8)
+
+
+def test_attention_dim_head_divisibility():
+    with pytest.raises(ValueError, match="divisible"):
+        MultiHeadSelfAttention(5, n_heads=2)
+
+
+def test_masked_mean_pool_ignores_padding():
+    pool = MaskedMeanPool()
+    x = np.arange(12, dtype=float).reshape(1, 3, 4)
+    mask = np.array([[1, 1, 0]])
+    out = pool.forward(x, mask=mask)
+    assert np.allclose(out[0], x[0, :2].mean(axis=0))
+    grad = pool.backward(np.ones((1, 4)))
+    assert np.allclose(grad[0, 2], 0.0)
+
+
+# -- losses ---------------------------------------------------------------------
+
+
+def test_bce_matches_manual():
+    logits = np.array([0.0, 2.0, -2.0])
+    targets = np.array([1.0, 1.0, 0.0])
+    loss, grad = bce_with_logits(logits, targets)
+    p = 1 / (1 + np.exp(-logits))
+    manual = -np.mean(
+        targets * np.log(p) + (1 - targets) * np.log(1 - p)
+    )
+    assert loss == pytest.approx(manual)
+    assert grad.shape == logits.shape
+
+
+def test_bce_pos_weight_shifts_gradient():
+    logits = np.zeros(2)
+    targets = np.array([1.0, 0.0])
+    _, plain = bce_with_logits(logits, targets)
+    _, weighted = bce_with_logits(logits, targets, pos_weight=5.0)
+    assert abs(weighted[0]) > abs(plain[0])
+    assert weighted[1] == pytest.approx(plain[1])
+
+
+def test_cross_entropy_gradcheck():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(4, 3))
+    targets = np.array([0, 2, 1, 1])
+    loss, grad = cross_entropy(logits, targets)
+    eps = 1e-6
+    for i in range(logits.size):
+        flat = logits.ravel()
+        original = flat[i]
+        flat[i] = original + eps
+        up, _ = cross_entropy(logits, targets)
+        flat[i] = original - eps
+        down, _ = cross_entropy(logits, targets)
+        flat[i] = original
+        assert grad.ravel()[i] == pytest.approx(
+            (up - down) / (2 * eps), abs=1e-5
+        )
+
+
+def test_nt_xent_prefers_aligned_pairs():
+    rng = np.random.default_rng(0)
+    base = rng.normal(size=(4, 8))
+    aligned = np.vstack([base, base + 0.01 * rng.normal(size=(4, 8))])
+    shuffled = np.vstack([base, rng.normal(size=(4, 8))])
+    loss_aligned, _ = nt_xent(aligned)
+    loss_shuffled, _ = nt_xent(shuffled)
+    assert loss_aligned < loss_shuffled
+
+
+def test_nt_xent_needs_even_count():
+    with pytest.raises(ValueError, match="even"):
+        nt_xent(np.ones((5, 3)))
+
+
+# -- optimisers -------------------------------------------------------------------
+
+
+def test_sgd_reduces_quadratic():
+    layer = Dense(2, 1, rng=np.random.default_rng(0))
+    X = np.random.default_rng(1).normal(size=(50, 2))
+    y = X @ np.array([[1.0], [-2.0]])
+    optimizer = SGD(layer.parameters(), lr=0.1)
+    losses = []
+    for _ in range(60):
+        out = layer.forward(X)
+        losses.append(float(np.mean((out - y) ** 2)))
+        layer.backward(2 * (out - y) / len(X))
+        optimizer.step()
+    assert losses[-1] < 0.05 * losses[0]
+
+
+def test_adam_reduces_quadratic():
+    layer = Dense(2, 1, rng=np.random.default_rng(0))
+    X = np.random.default_rng(1).normal(size=(50, 2))
+    y = X @ np.array([[1.0], [-2.0]])
+    optimizer = Adam(layer.parameters(), lr=0.05)
+    first = None
+    for _ in range(100):
+        out = layer.forward(X)
+        loss = float(np.mean((out - y) ** 2))
+        first = first if first is not None else loss
+        layer.backward(2 * (out - y) / len(X))
+        optimizer.step()
+    assert loss < 0.05 * first
+
+
+def test_clip_gradients_scales_down():
+    layer = Dense(2, 2, rng=np.random.default_rng(0))
+    layer.weight.grad[:] = 100.0
+    norm = clip_gradients(layer.parameters(), max_norm=1.0)
+    assert norm > 1.0
+    total = sum(float(np.sum(p.grad**2)) for p in layer.parameters())
+    assert np.sqrt(total) == pytest.approx(1.0, abs=1e-9)
+
+
+# -- text encoding -----------------------------------------------------------------
+
+
+def test_serialize_record_ditto_format():
+    text = serialize_record({"title": "tv", "price": 5}, ["title", "price"])
+    assert text == "COL title VAL tv COL price VAL 5"
+
+
+def test_serialize_record_skips_missing():
+    assert "price" not in serialize_record({"title": "tv", "price": None})
+
+
+def test_serialize_pair_contains_separator():
+    assert " [SEP] " in serialize_pair({"a": 1}, {"a": 2})
+
+
+def test_tokenizer_fixed_length_and_mask():
+    tokenizer = HashingTokenizer(vocab_size=64, max_len=8)
+    ids, mask = tokenizer.encode("one two three")
+    assert len(ids) == 8 and len(mask) == 8
+    assert ids[0] == CLS_ID
+    assert mask.sum() == 4  # CLS + 3 tokens
+    assert ids[mask == 0].max(initial=PAD_ID) == PAD_ID
+
+
+def test_tokenizer_stability_across_instances():
+    t1 = HashingTokenizer(128, 8)
+    t2 = HashingTokenizer(128, 8)
+    assert t1.token_id("thinkpad") == t2.token_id("thinkpad")
+
+
+def test_tokenizer_sep_token():
+    tokenizer = HashingTokenizer(64, 8)
+    ids, _ = tokenizer.encode("a [SEP] b")
+    assert SEP_ID in ids
+
+
+def test_tokenizer_qgram_unit():
+    tokenizer = HashingTokenizer(256, 16, unit="qgrams")
+    ids, mask = tokenizer.encode("COL t VAL thinkpad")
+    assert mask.sum() > 3  # several trigrams
+
+
+def test_tokenizer_vocab_validation():
+    with pytest.raises(ValueError, match="vocab_size"):
+        HashingTokenizer(vocab_size=3)
+    with pytest.raises(ValueError, match="unit"):
+        HashingTokenizer(unit="chars")
+
+
+# -- end-to-end training -----------------------------------------------------------
+
+
+def test_transformer_learns_toy_task():
+    """The encoder + head must learn to separate two token groups."""
+    rng = np.random.default_rng(0)
+    encoder = TransformerEncoder(
+        vocab_size=32, dim=8, n_heads=2, n_layers=1, max_len=6,
+        dropout=0.0, rng=rng,
+    )
+    pool = MaskedMeanPool()
+    head = Dense(8, 1, rng=rng)
+    optimizer = Adam(encoder.parameters() + head.parameters(), lr=5e-3)
+
+    ids = rng.integers(3, 32, size=(64, 6))
+    labels = (ids[:, 0] > 17).astype(float)
+    mask = np.ones_like(ids)
+    for _ in range(60):
+        hidden = encoder.forward(ids, mask=mask, training=True)
+        logits = head.forward(pool.forward(hidden, mask=mask))
+        loss, dlogits = bce_with_logits(logits, labels)
+        dh = pool.backward(head.backward(dlogits.reshape(-1, 1)))
+        encoder.backward(dh)
+        optimizer.step()
+    hidden = encoder.forward(ids, mask=mask, training=False)
+    logits = head.forward(pool.forward(hidden, mask=mask)).ravel()
+    accuracy = np.mean((logits > 0) == (labels > 0.5))
+    assert accuracy > 0.9
+
+
+def test_transformer_rejects_overlong_sequence():
+    encoder = TransformerEncoder(vocab_size=16, dim=4, n_heads=1,
+                                 n_layers=1, max_len=4)
+    with pytest.raises(ValueError, match="max_len"):
+        encoder.forward(np.zeros((1, 9), dtype=int))

@@ -1,0 +1,102 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ERProblem, KolmogorovSmirnovTest, WassersteinTest
+from repro.datasets import CorruptionProfile, Corruptor
+from repro.graphcluster import Graph, leiden, modularity
+from repro.similarity import ComparisonSchema, FeatureSpec
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.0, 0.5))
+def test_corruptor_never_crashes_and_preserves_type(seed, rate):
+    """Property: corruption of a string yields a string or None."""
+    profile = CorruptionProfile(
+        typo_rate=rate, ocr_rate=rate, abbreviate_rate=rate,
+        token_drop_rate=rate, token_shuffle_rate=rate,
+        missing_rate=rate / 5, decorate_rate=rate,
+    )
+    corruptor = Corruptor(profile, seed)
+    for value in ("canon eos 70d", "a", "", "x1 carbon gen9"):
+        result = corruptor.corrupt_value(value)
+        assert result is None or isinstance(result, str)
+    number = corruptor.corrupt_value(123.45)
+    assert number is None or isinstance(number, float)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_problem_subset_preserves_invariants(seed):
+    """Property: any subset of a valid ERProblem is a valid ERProblem
+    with consistent labels/pair alignment."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 60))
+    features = rng.random((n, 3))
+    labels = rng.integers(0, 2, size=n)
+    if labels.sum() == 0:
+        labels[0] = 1
+    pair_ids = [(f"a{i}", f"b{i}") for i in range(n)]
+    problem = ERProblem("A", "B", features, labels, pair_ids)
+    take = rng.choice(n, size=max(1, n // 2), replace=False)
+    subset = problem.subset(take)
+    assert subset.n_pairs == len(take)
+    for row, index in enumerate(take):
+        assert np.allclose(subset.features[row], features[int(index)])
+        assert subset.labels[row] == labels[int(index)]
+        assert subset.pair_ids[row] == pair_ids[int(index)]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_distribution_tests_are_symmetric(seed):
+    """Property: sim_p(A, B) == sim_p(B, A) for the univariate tests."""
+    rng = np.random.default_rng(seed)
+    a = rng.random((40, 3))
+    b = rng.random((55, 3))
+    for test in (KolmogorovSmirnovTest(), WassersteinTest()):
+        assert test.problem_similarity(a, b) == pytest.approx(
+            test.problem_similarity(b, a)
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_leiden_communities_have_nonnegative_modularity_on_dense(seed):
+    """Property: on a random graph with planted density, Leiden's
+    partition never scores below the trivial single community."""
+    rng = np.random.default_rng(seed)
+    g = Graph()
+    n = 14
+    for i in range(n):
+        g.add_node(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.3:
+                g.add_edge(i, j, float(rng.random()) + 0.1)
+    if g.total_weight() == 0:
+        return
+    communities = leiden(g, random_state=0)
+    q = modularity(g, communities)
+    q_trivial = modularity(g, [set(g.nodes())])
+    assert q >= q_trivial - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.text(alphabet="abc 123", max_size=15),
+    st.text(alphabet="abc 123", max_size=15),
+)
+def test_schema_features_always_in_unit_interval(a, b):
+    """Property: comparison schemas always emit values in [0, 1]."""
+    schema = ComparisonSchema([
+        FeatureSpec("t", "jaccard"),
+        FeatureSpec("t", "levenshtein"),
+        FeatureSpec("t", "jaro_winkler"),
+        FeatureSpec("p", "numeric"),
+    ])
+    vector = schema.compare({"t": a, "p": a}, {"t": b, "p": b})
+    assert np.all(vector >= 0.0) and np.all(vector <= 1.0)

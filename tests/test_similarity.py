@@ -1,0 +1,263 @@
+"""String/numeric similarity tests (scipy-free, exact known values)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    ComparisonSchema,
+    FeatureSpec,
+    TfidfVectorizer,
+    cosine_similarity,
+    dice,
+    exact_match,
+    jaccard,
+    jaro_similarity,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    normalize,
+    normalized_difference,
+    overlap_coefficient,
+    padded_qgrams,
+    parse_number,
+    prefix_similarity,
+    qgram_jaccard,
+    qgrams,
+    relative_difference,
+    tfidf_cosine,
+    word_tokens,
+    year_similarity,
+)
+
+TEXT_STRATEGY = st.text(
+    alphabet="abcdefghij 0123456789", min_size=0, max_size=20
+)
+
+
+# -- tokenisation -----------------------------------------------------------------
+
+
+def test_normalize_lowercases_and_strips():
+    assert normalize("  Ultra-HD  TV! ") == "ultra hd tv"
+    assert normalize(None) == ""
+    assert normalize(42) == "42"
+
+
+def test_word_tokens():
+    assert word_tokens("Samsung UN55TU8000") == ["samsung", "un55tu8000"]
+    assert word_tokens("") == []
+
+
+def test_qgrams_short_string():
+    assert qgrams("ab", 2) == ["ab"]
+    assert qgrams("a", 2) == ["a"]
+    assert qgrams("", 2) == []
+
+
+def test_padded_qgrams_cover_boundaries():
+    grams = padded_qgrams("ab", 2)
+    assert grams[0].startswith("#") and grams[-1].endswith("#")
+
+
+# -- string similarities ---------------------------------------------------------
+
+
+def test_exact_match():
+    assert exact_match("TV  55", "tv 55") == 1.0
+    assert exact_match("a", "b") == 0.0
+    assert exact_match(None, "") == 1.0
+
+
+def test_jaccard_known_value():
+    # tokens: {ultra, hd, tv} vs {ultra, tv} -> 2/3
+    assert jaccard("ultra hd tv", "ultra tv") == pytest.approx(2 / 3)
+
+
+def test_dice_and_overlap_known_values():
+    assert dice("a b", "b c") == pytest.approx(0.5)
+    assert overlap_coefficient("a b", "b") == pytest.approx(1.0)
+
+
+def test_levenshtein_distance_textbook():
+    assert levenshtein_distance("kitten", "sitting") == 3
+    assert levenshtein_distance("", "abc") == 3
+    assert levenshtein_distance("abc", "abc") == 0
+
+
+def test_levenshtein_similarity_bounds():
+    assert levenshtein_similarity("abc", "abc") == 1.0
+    assert levenshtein_similarity("abc", "xyz") == 0.0
+
+
+def test_jaro_textbook_values():
+    assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+    assert jaro_similarity("dixon", "dicksonx") == pytest.approx(0.7667, abs=1e-3)
+
+
+def test_jaro_winkler_textbook_value():
+    assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+
+def test_jaro_winkler_prefix_boost():
+    assert jaro_winkler("prefixxyz", "prefixabc") > jaro_similarity(
+        "prefixxyz", "prefixabc"
+    )
+
+
+def test_monge_elkan_asymmetry_and_range():
+    value = monge_elkan("canon eos", "canon eos 70d kit")
+    assert 0.9 < value <= 1.0
+
+
+def test_qgram_jaccard_typo_tolerance():
+    assert qgram_jaccard("thinkpad", "thinkpda") > jaccard(
+        "thinkpad", "thinkpda"
+    )
+
+
+def test_prefix_similarity():
+    assert prefix_similarity("samsung tv", "samsung soundbar") == 1.0
+    assert prefix_similarity("lg tv", "samsung tv") == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(TEXT_STRATEGY, TEXT_STRATEGY)
+def test_similarities_bounded_and_symmetric(a, b):
+    """Property: all similarities live in [0,1]; set-based + edit-based
+    ones are symmetric; identity gives 1."""
+    for func in (jaccard, dice, overlap_coefficient, levenshtein_similarity,
+                 qgram_jaccard, jaro_similarity, jaro_winkler):
+        value = func(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert func(a, b) == pytest.approx(func(b, a))
+        assert func(a, a) == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(TEXT_STRATEGY, TEXT_STRATEGY, TEXT_STRATEGY)
+def test_levenshtein_triangle_inequality(a, b, c):
+    """Property: edit distance satisfies the triangle inequality."""
+    assert levenshtein_distance(a, c) <= (
+        levenshtein_distance(a, b) + levenshtein_distance(b, c)
+    )
+
+
+# -- numeric comparisons -------------------------------------------------------------
+
+
+def test_parse_number_formats():
+    assert parse_number("1,299.00") == pytest.approx(1299.0)
+    assert parse_number("price: 42 usd") == 42.0
+    assert parse_number("n/a") is None
+    assert parse_number(None) is None
+    assert parse_number(3.5) == 3.5
+
+
+def test_normalized_difference():
+    assert normalized_difference(100, 100) == 1.0
+    assert normalized_difference(100, 50) == pytest.approx(0.5)
+    assert normalized_difference(None, None) == 1.0
+    assert normalized_difference(None, 5) == 0.0
+    assert normalized_difference(0, 0) == 1.0
+
+
+def test_relative_difference_tolerance_band():
+    assert relative_difference(100, 105, tolerance=0.1) == 1.0
+    assert relative_difference(100, 200, tolerance=0.1) < 0.6
+
+
+def test_year_similarity():
+    assert year_similarity(2000, 2000) == 1.0
+    assert year_similarity(2000, 2005, max_gap=10) == pytest.approx(0.5)
+    assert year_similarity(2000, 2020, max_gap=10) == 0.0
+
+
+# -- tf-idf -----------------------------------------------------------------------
+
+
+def test_tfidf_identical_texts_cosine_one():
+    sims = tfidf_cosine(["canon eos camera"], ["canon eos camera"])
+    assert sims[0] == pytest.approx(1.0)
+
+
+def test_tfidf_disjoint_texts_cosine_zero():
+    sims = tfidf_cosine(["alpha beta"], ["gamma delta"])
+    assert sims[0] == pytest.approx(0.0)
+
+
+def test_tfidf_vectorizer_shapes_and_norms():
+    texts = ["a b c", "a b", "c d e", "f"]
+    matrix = TfidfVectorizer().fit_transform(texts)
+    assert matrix.shape[0] == 4
+    norms = np.linalg.norm(matrix, axis=1)
+    assert np.all((norms > 0.99) | (norms == 0.0))
+
+
+def test_tfidf_max_features_caps_vocabulary():
+    texts = ["a b c d e f g h", "a b"]
+    vectorizer = TfidfVectorizer(max_features=3).fit(texts)
+    assert len(vectorizer.vocabulary_) == 3
+
+
+def test_tfidf_empty_corpus_raises():
+    with pytest.raises(ValueError, match="zero documents"):
+        TfidfVectorizer().fit([])
+
+
+def test_cosine_similarity_zero_vector():
+    assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+
+# -- comparison schema -----------------------------------------------------------
+
+
+def test_schema_compare_produces_expected_features():
+    schema = ComparisonSchema([
+        FeatureSpec("title", "jaccard"),
+        FeatureSpec("price", "numeric"),
+    ])
+    vector = schema.compare(
+        {"title": "ultra hd tv", "price": 100},
+        {"title": "ultra tv", "price": 50},
+    )
+    assert vector[0] == pytest.approx(2 / 3)
+    assert vector[1] == pytest.approx(0.5)
+    assert schema.feature_names == ["jaccard(title)", "numeric(price)"]
+
+
+def test_schema_missing_attribute_is_zero_similarity():
+    schema = ComparisonSchema([FeatureSpec("brand", "jaro_winkler")])
+    vector = schema.compare({"brand": "sony"}, {})
+    assert vector[0] == 0.0
+
+
+def test_schema_custom_callable():
+    schema = ComparisonSchema([
+        FeatureSpec("x", lambda a, b: 0.25, name="constant"),
+    ])
+    assert schema.compare({"x": 1}, {"x": 2})[0] == 0.25
+    assert schema.feature_names == ["constant"]
+
+
+def test_schema_duplicate_names_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        ComparisonSchema([
+            FeatureSpec("a", "jaccard"), FeatureSpec("a", "jaccard"),
+        ])
+
+
+def test_schema_unknown_function_rejected():
+    with pytest.raises(ValueError, match="unknown similarity"):
+        ComparisonSchema([FeatureSpec("a", "nope")])
+
+
+def test_schema_compare_pairs_matrix():
+    schema = ComparisonSchema([FeatureSpec("t", "jaccard")])
+    matrix = schema.compare_pairs(
+        [({"t": "a"}, {"t": "a"}), ({"t": "a"}, {"t": "b"})]
+    )
+    assert matrix.shape == (2, 1)
+    assert matrix[0, 0] == 1.0 and matrix[1, 0] == 0.0
