@@ -23,6 +23,13 @@ from .morer import CountingOracle, MoRER
 from .problem import ERProblem
 from .repository import ClusterEntry, ModelRepository
 from .selection import SolveResult, pool_problems, select_base, select_cov
+from .signatures import (
+    ProblemSignature,
+    SignatureStore,
+    pairwise_similarities,
+    problem_signature,
+    supports_signatures,
+)
 
 __all__ = [
     "ERProblem",
@@ -43,6 +50,11 @@ __all__ = [
     "DISTRIBUTION_TESTS",
     "make_distribution_test",
     "problem_similarity",
+    "ProblemSignature",
+    "SignatureStore",
+    "problem_signature",
+    "pairwise_similarities",
+    "supports_signatures",
     "distribute_budget",
     "merge_singletons",
     "BudgetError",

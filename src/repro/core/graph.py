@@ -5,14 +5,30 @@ aggregated distribution similarity ``sim_p``. The graph is clustered
 with Leiden by default and is extendable: new unsolved problems are
 attached by comparing them against all existing vertices (the
 ``sel_cov`` strategy of §4.5 reclusters after insertion).
+
+Pairwise analysis is the O(P²·F) hot loop of construction, so the
+graph keeps one :class:`~repro.core.signatures.ProblemSignature` per
+problem (sorted columns, self-CDFs, histograms, stds computed once) and
+evaluates edges with the tests' vectorized ``signature_similarity``
+kernels. Computed pair similarities are memoized in a pair cache that
+survives :meth:`remove_problem`, so ``sel_cov`` re-insertions and
+repeated reclustering never repeat a comparison.
 """
 
 from __future__ import annotations
 
+import weakref
+
 from ..graphcluster import CLUSTERING_ALGORITHMS, Graph
 from .distribution import make_distribution_test
+from .signatures import SignatureStore, pairwise_similarities, supports_signatures
 
 __all__ = ["ERProblemGraph"]
+
+
+def _pair_key(key_a, key_b):
+    """Order-independent cache key for a pair of problem keys."""
+    return (key_a, key_b) if key_a <= key_b else (key_b, key_a)
 
 
 class ERProblemGraph:
@@ -27,24 +43,85 @@ class ERProblemGraph:
         Edges below this weight are omitted; 0.0 keeps every positive
         similarity (the default — Leiden handles dense graphs fine at
         this scale).
+    use_signatures : bool
+        Evaluate edges through per-problem signatures and the memoized
+        pair cache (the default). ``False`` preserves the naive path
+        that recomputes every comparison from the raw matrices —
+        reference behaviour for the equivalence suite and benchmarks.
+    signature_cache_size : int
+        Capacity of the LRU signature store.
     """
 
-    def __init__(self, test="ks", min_similarity=0.0):
+    def __init__(self, test="ks", min_similarity=0.0, use_signatures=True,
+                 signature_cache_size=4096):
         if isinstance(test, str):
             test = make_distribution_test(test)
         self.test = test
         self.min_similarity = min_similarity
+        self.use_signatures = bool(use_signatures) and supports_signatures(test)
+        # The pair cache stores one value under an order-normalized key,
+        # so it is only sound for order-symmetric tests (KS/WD/PSI, not
+        # C2ST, whose subsampling depends on argument order).
+        self._cache_pairs = self.use_signatures and getattr(
+            test, "symmetric", False
+        )
         self.graph = Graph()
         self._problems = {}
+        self._signatures = SignatureStore(signature_cache_size)
+        self._pair_cache = {}
+        self._pairs_by_key = {}
+        # key -> weakref of the feature matrix its cached pairs were
+        # computed against; validates re-insertions independently of the
+        # LRU signature store (eviction must not purge valid pairs).
+        self._pair_witness = {}
 
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def build(cls, problems, test="ks", min_similarity=0.0):
-        """Build the graph over an iterable of initial ER problems."""
-        instance = cls(test, min_similarity)
+    def build(cls, problems, test="ks", min_similarity=0.0, **kwargs):
+        """Build the graph over an iterable of initial ER problems.
+
+        On the signature path all signatures are computed up front
+        (once per problem) and the edges come from one batched
+        :func:`~repro.core.signatures.pairwise_similarities` kernel.
+        """
+        instance = cls(test, min_similarity, **kwargs)
+        problems = list(problems)
+        if not instance.use_signatures or len(problems) < 2:
+            for problem in problems:
+                instance.add_problem(problem)
+            return instance
+        keys = []
+        signatures = []
         for problem in problems:
-            instance.add_problem(problem)
+            key = problem.key
+            if key in instance._problems:
+                raise ValueError(f"ER problem {key} already in the graph")
+            instance.graph.add_node(key)
+            instance._problems[key] = problem
+            keys.append(key)
+            instance._validate_pair_cache(key, problem.features)
+            signatures.append(
+                instance._signatures.signature(key, problem.features)
+            )
+        # Asymmetric tests (C2ST) skip the matrix kernel: only the lower
+        # triangle is consumed, and pairwise_similarities would have to
+        # evaluate both orientations.
+        matrix = None
+        if getattr(instance.test, "symmetric", False):
+            matrix = pairwise_similarities(signatures, instance.test)
+        for i, key_i in enumerate(keys):
+            for j in range(i):
+                if matrix is not None:
+                    similarity = float(matrix[i, j])
+                else:
+                    similarity = instance.test.signature_similarity(
+                        signatures[i], signatures[j]
+                    )
+                if instance._cache_pairs:
+                    instance._remember_pair(key_i, keys[j], similarity)
+                if similarity > instance.min_similarity:
+                    instance.graph.add_edge(key_i, keys[j], similarity)
         return instance
 
     def add_problem(self, problem):
@@ -52,21 +129,108 @@ class ERProblemGraph:
         key = problem.key
         if key in self._problems:
             raise ValueError(f"ER problem {key} already in the graph")
+        signature = None
+        if self.use_signatures:
+            self._validate_pair_cache(key, problem.features)
+            signature = self._signatures.signature(key, problem.features)
         self.graph.add_node(key)
         for other_key, other in self._problems.items():
-            similarity = self.test.problem_similarity(
-                problem.features, other.features
-            )
+            if signature is not None:
+                similarity = None
+                if self._cache_pairs:
+                    similarity = self._pair_cache.get(_pair_key(key, other_key))
+                if similarity is None:
+                    other_signature = self._signatures.signature(
+                        other_key, other.features
+                    )
+                    similarity = self.test.signature_similarity(
+                        signature, other_signature
+                    )
+                    if self._cache_pairs:
+                        self._remember_pair(key, other_key, similarity)
+            else:
+                similarity = self.test.problem_similarity(
+                    problem.features, other.features
+                )
             if similarity > self.min_similarity:
                 self.graph.add_edge(key, other_key, similarity)
         self._problems[key] = problem
 
     def remove_problem(self, key):
-        """Remove a problem vertex (used by repository maintenance)."""
+        """Remove a problem vertex (used by repository maintenance).
+
+        The problem's signature and memoized pair similarities are kept
+        so re-inserting the same problem (``sel_cov`` churn) is free.
+        """
         if key not in self._problems:
             raise KeyError(f"no ER problem {key} in the graph")
         self.graph.remove_node(key)
         del self._problems[key]
+
+    # -- pair cache --------------------------------------------------------
+
+    def pair_similarity(self, key_a, key_b):
+        """Memoized ``sim_p`` between two stored problems.
+
+        Unlike :meth:`similarity` this is the actual test value, not
+        the thresholded edge weight; missing pairs are computed (and,
+        for order-symmetric tests, cached) on demand in the
+        ``(key_a, key_b)`` orientation.
+        """
+        if self._cache_pairs:
+            cached = self._pair_cache.get(_pair_key(key_a, key_b))
+            if cached is not None:
+                return cached
+        problem_a = self._problems[key_a]
+        problem_b = self._problems[key_b]
+        if self.use_signatures:
+            similarity = self.test.signature_similarity(
+                self._signatures.signature(key_a, problem_a.features),
+                self._signatures.signature(key_b, problem_b.features),
+            )
+            if self._cache_pairs:
+                self._remember_pair(key_a, key_b, similarity)
+        else:
+            similarity = self.test.problem_similarity(
+                problem_a.features, problem_b.features
+            )
+        return similarity
+
+    def _validate_pair_cache(self, key, features):
+        """Purge ``key``'s memoized pairs unless they were computed
+        against this exact feature matrix (identity via weakref, so an
+        LRU-evicted signature does not invalidate valid pairs). The
+        weakref's death callback evicts the key's pairs outright: once
+        the matrix is garbage the cache can never be validated again,
+        which bounds the pair cache to problems whose data is alive.
+        """
+        if not self._cache_pairs:
+            return
+        witness = self._pair_witness.get(key)
+        if witness is None or witness() is not features:
+            self._purge_pairs(key)
+            self._pair_witness[key] = weakref.ref(
+                features,
+                lambda ref, key=key: self._drop_dead_witness(key, ref),
+            )
+
+    def _drop_dead_witness(self, key, ref):
+        if self._pair_witness.get(key) is ref:
+            self._purge_pairs(key)
+            del self._pair_witness[key]
+
+    def _remember_pair(self, key_a, key_b, similarity):
+        self._pair_cache[_pair_key(key_a, key_b)] = similarity
+        self._pairs_by_key.setdefault(key_a, set()).add(key_b)
+        self._pairs_by_key.setdefault(key_b, set()).add(key_a)
+
+    def _purge_pairs(self, key):
+        """Drop every memoized pair involving ``key``."""
+        for partner in self._pairs_by_key.pop(key, ()):
+            self._pair_cache.pop(_pair_key(key, partner), None)
+            partners = self._pairs_by_key.get(partner)
+            if partners:
+                partners.discard(key)
 
     # -- access --------------------------------------------------------------
 

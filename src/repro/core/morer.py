@@ -119,9 +119,7 @@ class MoRER:
                 problems_by_key,
                 self.config.b_total,
                 self.config.b_min,
-                similarity=lambda a, b: self.test.problem_similarity(
-                    a.features, b.features
-                ),
+                similarity=self._problem_pair_similarity,
                 policy=self.config.budget_policy,
             )
         else:
@@ -181,19 +179,46 @@ class MoRER:
             random_state=seed,
         )
 
+    def _problem_pair_similarity(self, problem_a, problem_b):
+        """``sim_p`` via the graph's memoized pair cache when possible.
+
+        Budget distribution (singleton merging, Eq. 4) compares problems
+        that are already vertices of :math:`G_P`, so their pairwise
+        similarities were computed during graph construction.
+        """
+        graph = self.problem_graph
+        if (
+            graph is not None
+            and problem_a.key in graph
+            and problem_b.key in graph
+        ):
+            return graph.pair_similarity(problem_a.key, problem_b.key)
+        return self.test.problem_similarity(
+            problem_a.features, problem_b.features
+        )
+
     def _record_cluster_counts(self, clusters):
-        """``record id -> number of clusters it occurs in`` (Eq. 12)."""
+        """``record id -> number of clusters it occurs in`` (Eq. 12).
+
+        Each problem's record set is built once and reused across
+        clusters (a problem's ``pair_ids`` are walked exactly one time).
+        """
         counts = {}
+        records_by_key = {}
         problems_by_key = self.problem_graph.problems()
+        for key, problem in problems_by_key.items():
+            if problem.pair_ids is None:
+                records_by_key[key] = frozenset()
+                continue
+            records = set()
+            for record_a, record_b in problem.pair_ids:
+                records.add(record_a)
+                records.add(record_b)
+            records_by_key[key] = records
         for cluster in clusters:
             records = set()
             for key in cluster:
-                problem = problems_by_key[key]
-                if problem.pair_ids is None:
-                    continue
-                for record_a, record_b in problem.pair_ids:
-                    records.add(record_a)
-                    records.add(record_b)
+                records |= records_by_key[key]
             for record in records:
                 counts[record] = counts.get(record, 0) + 1
         return counts
@@ -340,6 +365,9 @@ class MoRER:
         entry.labels_spent += spent
         entry.trained_keys |= set(untrained)
         self.trained_keys |= set(untrained)
+        # The entry's representative changed — its cached search
+        # signature is stale.
+        self.repository.invalidate_entry_cache(entry.cluster_id)
         return spent
 
     # -- reporting ----------------------------------------------------------------

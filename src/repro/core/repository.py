@@ -23,6 +23,7 @@ from ..ml import ESTIMATOR_REGISTRY
 from .config import MoRERConfig
 from .distribution import make_distribution_test
 from .problem import ERProblem
+from .signatures import ProblemSignature, SignatureStore, supports_signatures
 
 __all__ = ["ClusterEntry", "ModelRepository"]
 
@@ -36,6 +37,10 @@ class ClusterEntry:
     cluster_id : int
     problem_keys : set of tuple
         ER problems assigned to this cluster at the last (re)clustering.
+        Once registered in a :class:`ModelRepository`, reassign keys
+        through :meth:`ModelRepository.reassign_cluster` rather than
+        mutating this set directly — the repository maintains a
+        key→entry index over it.
     model : classifier
         Trained :math:`M_{C_i}` (``predict`` / ``predict_proba``).
     training_features : ndarray
@@ -72,15 +77,39 @@ class ModelRepository:
         problem graph, per §4.5.
     config : MoRERConfig, optional
         Stored alongside for provenance; persisted in the manifest.
+    use_signatures : bool
+        Search through cached per-entry signatures and the vectorized
+        test kernels (the default). ``False`` preserves the naive path
+        that recomputes every comparison from the raw matrices.
+    signature_cache_size : int
+        Capacity of the LRU store for probe-problem signatures. Probes
+        are usually searched once each, so the default stays small —
+        the cache only pays off when the same problem is solved
+        repeatedly; entry signatures are cached separately and are not
+        subject to this bound.
+
+    Notes
+    -----
+    ``problem_keys`` are normally disjoint across entries (one cluster
+    per problem — the §4.3 partition), but ``sel_cov`` can transiently
+    overlap them between a new-entry registration and the next
+    reclustering; the key→entry index therefore tracks every containing
+    entry and resolves ties to the oldest, matching a linear scan in
+    insertion order.
     """
 
-    def __init__(self, test="ks", config=None):
+    def __init__(self, test="ks", config=None, use_signatures=True,
+                 signature_cache_size=16):
         if isinstance(test, str):
             test = make_distribution_test(test)
         self.test = test
         self.config = config
         self.entries = {}
         self._next_id = 0
+        self.use_signatures = bool(use_signatures) and supports_signatures(test)
+        self._key_index = {}
+        self._entry_signatures = {}
+        self._probe_signatures = SignatureStore(signature_cache_size)
 
     def __len__(self):
         return len(self.entries)
@@ -102,42 +131,151 @@ class ModelRepository:
         )
         self.entries[entry.cluster_id] = entry
         self._next_id += 1
+        self._register_keys(entry)
         return entry.cluster_id
 
     def remove_entry(self, cluster_id):
         """Drop an entry (superseded after reclustering)."""
-        del self.entries[cluster_id]
+        entry = self.entries.pop(cluster_id)
+        self._entry_signatures.pop(cluster_id, None)
+        for key in entry.problem_keys:
+            self._unindex_key(key, cluster_id)
 
     def entry_for_problem(self, key):
-        """Entry whose cluster contains problem ``key`` (or ``None``)."""
-        for entry in self.entries.values():
-            if key in entry.problem_keys:
-                return entry
-        return None
+        """Entry whose cluster contains problem ``key`` (or ``None``).
 
-    def search(self, problem):
-        """Repository *search*: best entry for a new ER problem.
+        With (transiently) overlapping entries the oldest containing
+        entry wins — the order a linear scan over ``entries`` yields.
+        """
+        cluster_ids = self._key_index.get(key)
+        if not cluster_ids:
+            return None
+        return self.entries.get(min(cluster_ids))
+
+    def containing_cluster_ids(self, key):
+        """Ids of every entry whose cluster contains ``key``."""
+        return tuple(self._key_index.get(key, ()))
+
+    def reassign_cluster(self, entry, cluster):
+        """Assign ``cluster`` to ``entry``, stealing keys from *all*
+        other entries.
+
+        Keeps the key→entry index consistent — the ``sel_cov``
+        reclustering path (§4.5) calls this after every Leiden run.
+        """
+        cluster = set(cluster)
+        for key in cluster:
+            for cluster_id in tuple(self._key_index.get(key, ())):
+                if cluster_id != entry.cluster_id:
+                    self.entries[cluster_id].problem_keys.discard(key)
+            self._key_index[key] = {entry.cluster_id}
+        for key in entry.problem_keys - cluster:
+            self._unindex_key(key, entry.cluster_id)
+        entry.problem_keys = cluster
+
+    def invalidate_entry_cache(self, cluster_id):
+        """Drop the cached signature after an entry's representative
+        changed (retraining replaces ``training_features``)."""
+        self._entry_signatures.pop(cluster_id, None)
+
+    def _register_keys(self, entry):
+        for key in entry.problem_keys:
+            self._key_index.setdefault(key, set()).add(entry.cluster_id)
+
+    def _unindex_key(self, key, cluster_id):
+        cluster_ids = self._key_index.get(key)
+        if cluster_ids is not None:
+            cluster_ids.discard(cluster_id)
+            if not cluster_ids:
+                del self._key_index[key]
+
+    def _entry_signature(self, entry):
+        signature = self._entry_signatures.get(entry.cluster_id)
+        if signature is None or signature.features is not entry.training_features:
+            signature = ProblemSignature(entry.training_features)
+            self._entry_signatures[entry.cluster_id] = signature
+        return signature
+
+    def _search_signatures(self, problem, features):
+        """Probe + per-entry signatures, or ``None`` when any matrix
+        falls outside the signature kernels' ``[0, 1]`` domain — the
+        naive path then handles the search exactly as it did pre-cache
+        (KS/WD accept any range, PSI clips)."""
+        try:
+            if isinstance(problem, ERProblem):
+                probe = self._probe_signatures.signature(
+                    problem.key, features
+                )
+            else:
+                probe = ProblemSignature(features)
+            return probe, [
+                self._entry_signature(entry)
+                for entry in self.entries.values()
+            ]
+        except ValueError:
+            return None
+
+    def search(self, problem, top_k=None):
+        """Repository *search*: best entry (or entries) for a problem.
 
         Compares the problem's feature vectors against every entry's
         representative :math:`P_{C_i}` with the repository's
-        distribution test and returns ``(entry, similarity)``; this is
-        the :math:`sel_{base}` primitive (§4.5).
+        distribution test — the :math:`sel_{base}` primitive (§4.5). On
+        the signature path the probe is summarised once and each entry's
+        representative signature is cached (invalidated on retraining).
+
+        Parameters
+        ----------
+        problem : ERProblem or ndarray
+            The probe problem (or its raw feature matrix).
+        top_k : int, optional
+            When given, return the ``top_k`` best entries as a list of
+            ``(entry, similarity)`` pairs sorted by descending
+            similarity; the default returns the single best pair
+            ``(entry, similarity)``.
         """
         if not self.entries:
             raise LookupError("the repository is empty; fit MoRER first")
+        if top_k is not None:
+            if isinstance(top_k, bool) or not isinstance(
+                top_k, (int, np.integer)
+            ) or top_k < 1:
+                raise ValueError("top_k must be a positive integer")
+            top_k = int(top_k)
         features = (
             problem.features if isinstance(problem, ERProblem) else problem
         )
-        best_entry = None
-        best_similarity = -np.inf
-        for entry in self.entries.values():
-            similarity = self.test.problem_similarity(
-                features, entry.training_features
-            )
-            if similarity > best_similarity:
-                best_similarity = similarity
-                best_entry = entry
-        return best_entry, float(best_similarity)
+        signatures = (
+            self._search_signatures(problem, features)
+            if self.use_signatures
+            else None
+        )
+        if signatures is not None:
+            probe, entry_signatures = signatures
+            scored = [
+                (
+                    float(self.test.signature_similarity(probe, signature)),
+                    entry,
+                )
+                for signature, entry in zip(
+                    entry_signatures, self.entries.values()
+                )
+            ]
+        else:
+            scored = [
+                (
+                    float(self.test.problem_similarity(
+                        features, entry.training_features
+                    )),
+                    entry,
+                )
+                for entry in self.entries.values()
+            ]
+        if top_k is None:
+            best_similarity, best_entry = max(scored, key=lambda item: item[0])
+            return best_entry, best_similarity
+        ranked = sorted(scored, key=lambda item: item[0], reverse=True)
+        return [(entry, similarity) for similarity, entry in ranked[:top_k]]
 
     def total_labels_spent(self):
         """Sum of oracle queries across entries."""
@@ -210,5 +348,6 @@ class ModelRepository:
                 trained_keys={tuple(key) for key in meta["trained_keys"]},
             )
             repository.entries[cluster_id] = entry
+            repository._register_keys(entry)
         repository._next_id = manifest["next_id"]
         return repository

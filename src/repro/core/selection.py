@@ -119,7 +119,7 @@ def select_cov(morer, problem, oracle=None):
         )
         retrained = labels_spent > 0
     # Keep the repository's cluster assignment in sync with G_P.
-    _reassign_cluster(morer.repository, entry, new_cluster)
+    morer.repository.reassign_cluster(entry, new_cluster)
     predictions = entry.predict(problem.features)
     return SolveResult(
         predictions=predictions,
@@ -144,22 +144,24 @@ def _coverage(morer, cluster, untrained):
 
 
 def _max_overlap_entry(repository, cluster):
-    """Entry whose previous cluster overlaps the new cluster the most."""
+    """Entry whose previous cluster overlaps the new cluster the most.
+
+    Overlap counts come from the repository's key→entry index, so the
+    cost is O(|cluster| + entries) rather than one set intersection per
+    entry; a key transiently shared by several entries counts towards
+    each of them, exactly like the intersections did.
+    """
+    if not repository.entries:
+        raise LookupError("repository has no entries")
+    overlaps = {}
+    for key in cluster:
+        for cluster_id in repository.containing_cluster_ids(key):
+            overlaps[cluster_id] = overlaps.get(cluster_id, 0) + 1
     best_entry = None
     best_overlap = -1
-    for entry in repository.entries.values():
-        overlap = len(entry.problem_keys & cluster)
+    for cluster_id, entry in repository.entries.items():
+        overlap = overlaps.get(cluster_id, 0)
         if overlap > best_overlap:
             best_overlap = overlap
             best_entry = entry
-    if best_entry is None:
-        raise LookupError("repository has no entries")
     return best_entry
-
-
-def _reassign_cluster(repository, entry, cluster):
-    """Assign ``cluster`` to ``entry`` and steal its keys from others."""
-    for other in repository.entries.values():
-        if other is not entry:
-            other.problem_keys -= cluster
-    entry.problem_keys = set(cluster)

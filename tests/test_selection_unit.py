@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import MoRER, SolveResult, pool_problems
-from repro.core.selection import _coverage, _max_overlap_entry, _reassign_cluster
+from repro.core.selection import _coverage, _max_overlap_entry
 from tests.conftest import make_problem, make_problem_family
 
 
@@ -66,7 +66,7 @@ def test_reassign_cluster_steals_keys():
         pytest.skip("needs two clusters")
     a, b = entries[0], entries[1]
     stolen = set(a.problem_keys) | {next(iter(b.problem_keys))}
-    _reassign_cluster(morer.repository, a, stolen)
+    morer.repository.reassign_cluster(a, stolen)
     assert a.problem_keys == stolen
     assert not (b.problem_keys & stolen)
 
