@@ -1,0 +1,176 @@
+"""ANN repository-search bench: sketch prefilter + exact rerank.
+
+Builds repositories of 200–800 entries drawn from a continuum of
+distribution regimes, then searches a probe set three ways:
+
+* **reference** — the PR 1 scan (one ``signature_similarity`` per
+  entry), re-implemented inline as the ground truth;
+* **exact** — ``search(..., use_index=False)``, which must stay
+  *byte-identical* to the reference scan (same floats, same ranking);
+* **indexed** — the sketch-index prefilter with the default rerank
+  width, scored for recall@5 against the exact top-5 and for per-search
+  latency against the exact scan.
+
+Asserts recall@5 ≥ 0.95 everywhere and a speedup at ≥500 entries (the
+scale where the O(entries) scan starts to dominate; ``--smoke`` runs a
+single reduced size for CI).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import ModelRepository, ProblemSignature
+
+N_FEATURES = 6
+ENTRY_SAMPLES = 48
+TOP_K = 5
+
+
+def _entry_matrix(rng, regime):
+    """Synthetic representative: match/non-match mixture whose regime
+    moves both the class means and the class balance."""
+    shift = 0.35 * regime
+    n_matches = 12 + int(12 * regime)
+    matches = np.clip(
+        rng.normal(0.82 - shift, 0.07, (n_matches, N_FEATURES)), 0, 1
+    )
+    non_matches = np.clip(
+        rng.normal(0.2 + shift, 0.08,
+                   (ENTRY_SAMPLES - n_matches, N_FEATURES)),
+        0, 1,
+    )
+    return np.vstack([matches, non_matches])
+
+
+def _build_repository(n_entries, seed=0):
+    rng = np.random.default_rng(seed)
+    repository = ModelRepository("ks", index_threshold=100)
+    # A dense continuum of regimes: every entry is a *distinct* ER
+    # problem (no duplicated clusters whose exact ranking would be
+    # decided by sub-sketch-resolution sampling noise).
+    for i in range(n_entries):
+        regime = i / max(n_entries - 1, 1)
+        repository.add_entry(
+            {(f"S{i}", f"T{i}")}, None, _entry_matrix(rng, regime),
+            np.zeros(ENTRY_SAMPLES, dtype=int),
+        )
+    return repository
+
+
+def _make_probes(n_probes, seed=991):
+    rng = np.random.default_rng(seed)
+    return [
+        _entry_matrix(rng, float(rng.uniform(0.0, 1.0)))
+        for _ in range(n_probes)
+    ]
+
+
+def _reference_scan(repository, probe, top_k):
+    """The PR 1 search loop, reproduced verbatim as ground truth."""
+    test = repository.test
+    signature = ProblemSignature(probe)
+    scored = [
+        (
+            float(test.signature_similarity(
+                signature, repository._entry_signature(entry)
+            )),
+            entry,
+        )
+        for entry in repository.entries.values()
+    ]
+    ranked = sorted(scored, key=lambda item: item[0], reverse=True)
+    return [(entry, similarity) for similarity, entry in ranked[:top_k]]
+
+
+def _timed_searches(repository, probes, **kwargs):
+    results = []
+    started = time.perf_counter()
+    for probe in probes:
+        results.append(repository.search(probe, top_k=TOP_K, **kwargs))
+    return time.perf_counter() - started, results
+
+
+def run(sizes, n_probes, rounds=1):
+    results = {}
+    for size in sizes:
+        repository = _build_repository(size)
+        probes = _make_probes(n_probes)
+        # Warm both paths: entry signatures and sketch rows are built
+        # once here. Probes are raw matrices, so both timed loops pay
+        # the same per-search probe-signature construction on top of
+        # their steady-state scan/rerank cost. `rounds` > 1 (smoke/CI)
+        # keeps the best of several timings to shrug off runner noise.
+        repository.search(probes[0], use_index=False)
+        repository.search(probes[0], use_index=True)
+        exact_times, indexed_times = [], []
+        for _ in range(rounds):
+            exact_s, exact = _timed_searches(
+                repository, probes, use_index=False
+            )
+            indexed_s, indexed = _timed_searches(
+                repository, probes, use_index=True
+            )
+            exact_times.append(exact_s)
+            indexed_times.append(indexed_s)
+        exact_s, indexed_s = min(exact_times), min(indexed_times)
+        recalls, identical = [], True
+        for probe, exact_top, indexed_top in zip(probes, exact, indexed):
+            reference = _reference_scan(repository, probe, TOP_K)
+            identical = identical and (
+                [e.cluster_id for e, _ in exact_top]
+                == [e.cluster_id for e, _ in reference]
+                and [s for _, s in exact_top] == [s for _, s in reference]
+            )
+            exact_ids = {entry.cluster_id for entry, _ in exact_top}
+            indexed_ids = {entry.cluster_id for entry, _ in indexed_top}
+            recalls.append(len(exact_ids & indexed_ids) / TOP_K)
+        results[size] = {
+            "exact_ms": 1e3 * exact_s / n_probes,
+            "indexed_ms": 1e3 * indexed_s / n_probes,
+            "speedup": exact_s / indexed_s,
+            "recall": float(np.mean(recalls)),
+            "exact_identical": identical,
+        }
+    return results
+
+
+def test_ann_search_recall_and_speedup(benchmark, smoke):
+    sizes = (150,) if smoke else (200, 500, 800)
+    n_probes = 10 if smoke else 25
+    timing_rounds = 3 if smoke else 1
+
+    results = benchmark.pedantic(
+        run, args=(sizes, n_probes, timing_rounds), rounds=1, iterations=1
+    )
+    print()
+    print(f"{'#Entries':>9} {'Exact (ms)':>11} {'Indexed (ms)':>13} "
+          f"{'Speedup':>8} {'Recall@5':>9}")
+    for size in sizes:
+        r = results[size]
+        print(f"{size:>9} {r['exact_ms']:>11.3f} {r['indexed_ms']:>13.3f} "
+              f"{r['speedup']:>7.1f}x {r['recall']:>9.2f}")
+
+    for size in sizes:
+        r = results[size]
+        # Exact mode is the PR 1 scan, bit for bit.
+        assert r["exact_identical"], size
+        assert r["recall"] >= 0.95, (size, r["recall"])
+    # Indexed search must beat the exact scan once the repository is
+    # large enough for the prefilter to pay for itself.
+    perf_sizes = [s for s in sizes if s >= 500] or [sizes[-1]]
+    for size in perf_sizes:
+        assert results[size]["speedup"] > 1.0, (size, results[size])
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced-size CI mode")
+    args = parser.parse_args()
+    sizes = (150,) if args.smoke else (200, 500, 800)
+    outcome = run(sizes, 10 if args.smoke else 25)
+    for size, row in outcome.items():
+        print(size, row)

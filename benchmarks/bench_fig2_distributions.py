@@ -1,7 +1,5 @@
 """Fig. 2 bench: per-problem Jaccard(title) similarity distributions."""
 
-import numpy as np
-
 from repro.experiments import heterogeneity_score, run_fig2
 
 

@@ -72,20 +72,29 @@ def _run_path(problems, probes, use_signatures):
     return elapsed, np.array(edge_sims + search_sims)
 
 
-def test_search_scale_speedup(benchmark):
-    sizes = (50, 100, 200)
+def test_search_scale_speedup(benchmark, smoke):
+    sizes = (20, 40) if smoke else (50, 100, 200)
+
+    # Smoke mode times tens of milliseconds on shared CI runners, so a
+    # single round can flake on scheduler noise: take best-of-3 there.
+    rounds = 3 if smoke else 1
 
     def run():
         results = {}
         for size in sizes:
             problems = _make_problems(size)
             probes = _make_problems(N_PROBES, seed=991, prefix="X")
-            naive_s, naive_sims = _run_path(
-                problems, probes, use_signatures=False
-            )
-            fast_s, fast_sims = _run_path(
-                problems, probes, use_signatures=True
-            )
+            naive_times, fast_times = [], []
+            for _ in range(rounds):
+                naive_s, naive_sims = _run_path(
+                    problems, probes, use_signatures=False
+                )
+                fast_s, fast_sims = _run_path(
+                    problems, probes, use_signatures=True
+                )
+                naive_times.append(naive_s)
+                fast_times.append(fast_s)
+            naive_s, fast_s = min(naive_times), min(fast_times)
             results[size] = {
                 "naive_s": naive_s,
                 "fast_s": fast_s,
@@ -105,5 +114,8 @@ def test_search_scale_speedup(benchmark):
 
     for size in sizes:
         assert results[size]["deviation"] < 1e-9, size
-    # The headline claim: signatures beat the naive path ≥3× at scale.
-    assert results[200]["speedup"] >= 3.0, results[200]
+    # The headline claim: signatures beat the naive path ≥3× at scale
+    # (smoke mode only checks they still win at its tiny sizes).
+    largest = sizes[-1]
+    floor = 1.2 if smoke else 3.0
+    assert results[largest]["speedup"] >= floor, results[largest]

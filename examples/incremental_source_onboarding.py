@@ -17,8 +17,12 @@ import numpy as np
 from repro import ERProblem, MoRER
 from repro.baselines import ZeroER
 from repro.blocking import token_blocking_pairs
-from repro.datasets import build_er_problems, computer_schema, \
-    generate_computer_dataset, split_problems
+from repro.datasets import (
+    build_er_problems,
+    computer_schema,
+    generate_computer_dataset,
+    split_problems,
+)
 from repro.ml import precision_recall_f1
 
 

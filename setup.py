@@ -15,7 +15,7 @@ setup(
     ),
     author="MoRER reproduction",
     license="Apache-2.0",
-    python_requires=">=3.10",
+    python_requires=">=3.9",
     install_requires=["numpy>=1.24"],
     package_dir={"": "src"},
     packages=find_packages(where="src"),

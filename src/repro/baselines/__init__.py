@@ -19,9 +19,9 @@ __all__ = [
 
 # Heavier baselines import lazily below so that importing repro.core does
 # not pull the neural substrate in.
+from .multiem import MultiEM  # noqa: E402
 from .transfer import TransER  # noqa: E402
 from .zeroer import ZeroER  # noqa: E402
-from .multiem import MultiEM  # noqa: E402
 
 __all__ += ["TransER", "ZeroER", "MultiEM"]
 

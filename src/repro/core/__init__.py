@@ -28,8 +28,10 @@ from .signatures import (
     SignatureStore,
     pairwise_similarities,
     problem_signature,
+    search_similarities,
     supports_signatures,
 )
+from .sketch_index import SketchIndex, sketch_vector
 
 __all__ = [
     "ERProblem",
@@ -52,8 +54,11 @@ __all__ = [
     "problem_similarity",
     "ProblemSignature",
     "SignatureStore",
+    "SketchIndex",
     "problem_signature",
     "pairwise_similarities",
+    "search_similarities",
+    "sketch_vector",
     "supports_signatures",
     "distribute_budget",
     "merge_singletons",

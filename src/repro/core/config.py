@@ -8,7 +8,26 @@ from ..ml.forest import RandomForestClassifier
 from ..ml.linear import LogisticRegression
 from ..ml.tree import DecisionTreeClassifier
 
-__all__ = ["MoRERConfig", "make_classifier", "CLASSIFIERS"]
+__all__ = [
+    "MoRERConfig",
+    "make_classifier",
+    "check_index_settings",
+    "CLASSIFIERS",
+    "DEFAULT_INDEX_THRESHOLD",
+]
+
+#: Entry count at which ``use_index="auto"`` switches repository search
+#: to the sketch-indexed path — the single source of truth for both
+#: :class:`MoRERConfig` and direct ``ModelRepository`` construction.
+DEFAULT_INDEX_THRESHOLD = 128
+
+
+def check_index_settings(use_index, index_threshold):
+    """Validate the shared repository-search index knobs."""
+    if use_index not in (True, False, "auto"):
+        raise ValueError("use_index must be True, False or 'auto'")
+    if index_threshold < 1:
+        raise ValueError("index_threshold must be >= 1")
 
 #: Classifier registry for cluster models.
 CLASSIFIERS = {
@@ -72,6 +91,15 @@ class MoRERConfig:
         AL batch size.
     use_record_score : bool
         Enable MoRER's Eq. 11–12 extension of Bootstrap AL.
+    use_index : {"auto", True, False}
+        Repository-search sketch index (ANN prefilter + exact rerank).
+        ``"auto"`` enables it only at ``index_threshold`` entries, so
+        paper-scale reproductions keep the byte-identical exact scan.
+    index_threshold : int
+        Entry count at which ``"auto"`` switches to indexed search.
+    search_candidates : int
+        Rerank width for indexed search; 0 means the per-query default
+        ``max(8 * top_k, 48)``.
     random_state : int
         Master seed.
     """
@@ -92,6 +120,9 @@ class MoRERConfig:
     committee_k: int = 10
     batch_size: int = 25
     use_record_score: bool = True
+    use_index: object = "auto"
+    index_threshold: int = DEFAULT_INDEX_THRESHOLD
+    search_candidates: int = 0
     random_state: int = 0
 
     def __post_init__(self):
@@ -109,6 +140,9 @@ class MoRERConfig:
             raise ValueError(
                 "budget_policy must be 'proportional' or 'uniform'"
             )
+        check_index_settings(self.use_index, self.index_threshold)
+        if self.search_candidates < 0:
+            raise ValueError("search_candidates must be >= 0")
 
     def to_dict(self):
         """Plain-dict form (JSON-safe) for repository manifests."""

@@ -112,12 +112,83 @@ class _UnivariateTest:
             for f in range(signature_a.n_features)
         ])
 
+    def signature_similarity_many(self, probe, signatures):
+        """``sim_p`` of one probe signature against many candidates.
+
+        One batched pass: per-feature similarities come from the same
+        vectorized kernels as :meth:`signature_similarity` (stacked per
+        candidate, or fully batched where the test overrides
+        ``_signature_feature_similarities_many``) and the std-weighted
+        aggregation runs once over the whole candidate block. Agrees
+        with per-candidate :meth:`signature_similarity` to well below
+        1e-9.
+        """
+        signatures = list(signatures)
+        if not signatures:
+            return np.empty(0)
+        for signature in signatures:
+            if signature.n_features != probe.n_features:
+                raise ValueError(
+                    "ER problems must share the feature space "
+                    f"({probe.n_features} vs {signature.n_features} "
+                    "features)"
+                )
+        similarities = self._signature_feature_similarities_many(
+            probe, signatures
+        )
+        stds = np.stack([sig.stds for sig in signatures])
+        weights = 0.5 * (probe.stds[None, :] + stds)
+        return _aggregate_rows(similarities, weights)
+
+    def _signature_feature_similarities_many(self, probe, signatures):
+        """Per-feature similarity rows, shape (n_candidates, n_features);
+        tests override this with a fully batched kernel."""
+        return np.stack([
+            self._signature_feature_similarities(probe, signature)
+            for signature in signatures
+        ])
+
+    def _check_shared_feature_space(self, signatures):
+        n_features = {sig.n_features for sig in signatures}
+        if len(n_features) > 1:
+            raise ValueError(
+                "ER problems must share the feature space "
+                f"(got {sorted(n_features)} feature counts)"
+            )
+        return n_features.pop()
+
+    def _aggregate_similarity_matrix(self, signatures, similarities):
+        """Shared tail of every ``signature_similarity_matrix``: fold a
+        (P, P, F) per-feature similarity tensor into the ``sim_p``
+        matrix with the symmetric std weights and a unit diagonal."""
+        stds = np.stack([sig.stds for sig in signatures])
+        weights = 0.5 * (stds[:, None, :] + stds[None, :, :])
+        matrix = _aggregate_rows(similarities, weights)
+        np.fill_diagonal(matrix, 1.0)
+        return matrix
+
 
 def _aggregate(similarities, weights):
     """Std-weighted mean with the uniform fallback for constant data."""
     if weights.sum() <= 1e-12:
         weights = np.ones(len(similarities))
     return float(np.dot(similarities, weights) / weights.sum())
+
+
+def _aggregate_rows(similarities, weights):
+    """Batched std-weighted means over the trailing (feature) axis.
+
+    ``similarities`` and ``weights`` share their shape; rows whose
+    weights all vanish (constant data) fall back to a uniform mean,
+    mirroring :func:`_aggregate`.
+    """
+    weights = np.array(weights, dtype=float, copy=True)
+    weight_sums = weights.sum(axis=-1)
+    constant = weight_sums <= 1e-12
+    if np.any(constant):
+        weights[constant] = 1.0
+        weight_sums[constant] = weights.shape[-1]
+    return (similarities * weights).sum(axis=-1) / weight_sums
 
 
 class KolmogorovSmirnovTest(_UnivariateTest):
@@ -147,6 +218,28 @@ class KolmogorovSmirnovTest(_UnivariateTest):
         gap_at_b = np.abs(cdf_a_at_b - signature_b.self_cdf).max(axis=0)
         return 1.0 - np.maximum(gap_at_a, gap_at_b)
 
+    def _signature_feature_similarities_many(self, probe, signatures):
+        # One searchsorted resolves the probe's CDF at every candidate's
+        # support points (their concatenated flats); only the reverse
+        # direction needs one call per candidate, because each candidate
+        # has its own sorted support.
+        all_flat = np.concatenate([sig.flat for sig in signatures])
+        positions = probe.flat.searchsorted(all_flat, side="right")
+        bounds = np.cumsum([0] + [sig.flat.size for sig in signatures])
+        rows = np.empty((len(signatures), probe.n_features))
+        for j, signature in enumerate(signatures):
+            cdf_probe_at_j = probe._deflatten(
+                positions[bounds[j]:bounds[j + 1]], probe.n_samples
+            ) / probe.n_samples
+            gap_at_j = np.abs(
+                cdf_probe_at_j - signature.self_cdf
+            ).max(axis=0)
+            gap_at_probe = np.abs(
+                probe.self_cdf - signature.cdf_at(probe)
+            ).max(axis=0)
+            rows[j] = 1.0 - np.maximum(gap_at_j, gap_at_probe)
+        return rows
+
     def signature_similarity_matrix(self, signatures):
         """All-pairs ``sim_p`` over a list of signatures in one pass.
 
@@ -161,13 +254,7 @@ class KolmogorovSmirnovTest(_UnivariateTest):
         tensor.
         """
         n_problems = len(signatures)
-        n_features = {sig.n_features for sig in signatures}
-        if len(n_features) > 1:
-            raise ValueError(
-                "ER problems must share the feature space "
-                f"(got {sorted(n_features)} feature counts)"
-            )
-        n_features = n_features.pop()
+        n_features = self._check_shared_feature_space(signatures)
         all_flat = np.concatenate([sig.flat for sig in signatures])
         sizes = [sig.n_samples for sig in signatures]
         uniform = len(set(sizes)) == 1
@@ -199,16 +286,9 @@ class KolmogorovSmirnovTest(_UnivariateTest):
                     ).max(axis=0)
             gaps[i, i] = 0.0
         statistics = np.maximum(gaps, gaps.transpose(1, 0, 2))
-        stds = np.stack([sig.stds for sig in signatures])
-        weights = 0.5 * (stds[:, None, :] + stds[None, :, :])
-        weight_sums = weights.sum(axis=2)
-        constant = weight_sums <= 1e-12
-        if np.any(constant):
-            weights[constant] = 1.0
-            weight_sums[constant] = n_features
-        matrix = ((1.0 - statistics) * weights).sum(axis=2) / weight_sums
-        np.fill_diagonal(matrix, 1.0)
-        return matrix
+        return self._aggregate_similarity_matrix(
+            signatures, 1.0 - statistics
+        )
 
 
 class WassersteinTest(_UnivariateTest):
@@ -257,6 +337,48 @@ class WassersteinTest(_UnivariateTest):
         distance = np.sum(np.abs(cdf_a[:-1] - cdf_b[:-1]) * widths, axis=0)
         return 1.0 - np.minimum(distance, 1.0)
 
+    # Equal-size problems admit the quantile form of W1: the empirical
+    # quantile functions share breakpoints k/n, so the integral of
+    # |F_a - F_b| collapses to the mean absolute gap between the two
+    # sorted-value vectors — no merged support needed, and whole blocks
+    # of problems evaluate in one subtraction.
+
+    def _signature_feature_similarities_many(self, probe, signatures):
+        if {sig.n_samples for sig in signatures} == {probe.n_samples}:
+            stacked = np.stack([sig.sorted_columns for sig in signatures])
+            distance = np.abs(stacked - probe.sorted_columns).mean(axis=1)
+            return 1.0 - np.minimum(distance, 1.0)
+        return super()._signature_feature_similarities_many(
+            probe, signatures
+        )
+
+    def signature_similarity_matrix(self, signatures):
+        """All-pairs ``sim_p`` over a list of signatures in one pass.
+
+        Equal-size signatures (the common case: problems built from one
+        corpus generator) use the quantile form of W1 over a single
+        stacked (P, n, F) tensor; mixed sizes fall back to the
+        per-pair vectorized integration. Pairwise results agree with
+        :meth:`signature_similarity` to well below 1e-9 (summation
+        order differs).
+        """
+        n_problems = len(signatures)
+        n_features = self._check_shared_feature_space(signatures)
+        similarities = np.ones((n_problems, n_problems, n_features))
+        if len({sig.n_samples for sig in signatures}) == 1:
+            stacked = np.stack([sig.sorted_columns for sig in signatures])
+            for i in range(n_problems):
+                distance = np.abs(stacked - stacked[i]).mean(axis=1)
+                similarities[i] = 1.0 - np.minimum(distance, 1.0)
+        else:
+            for i in range(n_problems):
+                for j in range(i):
+                    row = self._signature_feature_similarities(
+                        signatures[i], signatures[j]
+                    )
+                    similarities[i, j] = similarities[j, i] = row
+        return self._aggregate_similarity_matrix(signatures, similarities)
+
 
 class PopulationStabilityTest(_UnivariateTest):
     """``sim = 1 / (1 + PSI)`` over ``n_bins`` equal-width bins (Eq. 3).
@@ -299,21 +421,47 @@ class PopulationStabilityTest(_UnivariateTest):
         psi = float(np.sum((prop_a - prop_b) * np.log(prop_a / prop_b)))
         return 1.0 / (1.0 + max(psi, 0.0))
 
+    def _proportions(self, signature):
+        """Smoothed, renormalized bin proportions, shape (F, n_bins)."""
+        prop = (
+            signature.histogram(self.n_bins) / signature.n_samples
+            + self.smoothing
+        )
+        return prop / prop.sum(axis=1, keepdims=True)
+
     def _signature_feature_similarities(self, signature_a, signature_b):
         # Bin counts are memoized per signature; the PSI index itself
         # is a closed-form reduction over the (F, n_bins) count arrays.
-        prop_a = (
-            signature_a.histogram(self.n_bins) / signature_a.n_samples
-            + self.smoothing
-        )
-        prop_b = (
-            signature_b.histogram(self.n_bins) / signature_b.n_samples
-            + self.smoothing
-        )
-        prop_a = prop_a / prop_a.sum(axis=1, keepdims=True)
-        prop_b = prop_b / prop_b.sum(axis=1, keepdims=True)
+        prop_a = self._proportions(signature_a)
+        prop_b = self._proportions(signature_b)
         psi = np.sum((prop_a - prop_b) * np.log(prop_a / prop_b), axis=1)
         return 1.0 / (1.0 + np.maximum(psi, 0.0))
+
+    def _signature_feature_similarities_many(self, probe, signatures):
+        prop_probe = self._proportions(probe)
+        props = np.stack([self._proportions(sig) for sig in signatures])
+        psi = np.sum(
+            (prop_probe - props) * np.log(prop_probe / props), axis=2
+        )
+        return 1.0 / (1.0 + np.maximum(psi, 0.0))
+
+    def signature_similarity_matrix(self, signatures):
+        """All-pairs ``sim_p`` over a list of signatures in one pass.
+
+        Bin proportions and their logs are computed once per problem
+        and the P×P PSI reduction runs row-blocked in numpy. Pairwise
+        results agree with :meth:`signature_similarity` to well below
+        1e-9 (``log p_a − log p_b`` replaces ``log(p_a / p_b)``).
+        """
+        n_problems = len(signatures)
+        n_features = self._check_shared_feature_space(signatures)
+        props = np.stack([self._proportions(sig) for sig in signatures])
+        logs = np.log(props)
+        similarities = np.empty((n_problems, n_problems, n_features))
+        for i in range(n_problems):
+            psi = np.sum((props[i] - props) * (logs[i] - logs), axis=2)
+            similarities[i] = 1.0 / (1.0 + np.maximum(psi, 0.0))
+        return self._aggregate_similarity_matrix(signatures, similarities)
 
 
 class ClassifierTwoSampleTest:

@@ -4,8 +4,12 @@ Workflow (Fig. 3): similarity distribution analysis over the initial
 problems -> ER problem graph -> Leiden clustering -> per-cluster budget
 -> active-learning training-data selection -> one classifier per
 cluster, stored in a :class:`~repro.core.repository.ModelRepository`.
-New problems are served by :math:`sel_{base}` (repository search) or
-:math:`sel_{cov}` (graph integration + coverage-driven retraining).
+New problems are served by :math:`sel_{base}` (repository search —
+sketch-indexed with an exact rerank once the repository outgrows the
+configured threshold, see :mod:`repro.core.sketch_index`) or
+:math:`sel_{cov}` (graph integration + coverage-driven retraining,
+which invalidates both the retrained entry's cached signature and its
+sketch row).
 """
 
 from __future__ import annotations

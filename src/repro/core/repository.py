@@ -20,10 +20,20 @@ from pathlib import Path
 import numpy as np
 
 from ..ml import ESTIMATOR_REGISTRY
-from .config import MoRERConfig
+from .config import (
+    DEFAULT_INDEX_THRESHOLD,
+    MoRERConfig,
+    check_index_settings,
+)
 from .distribution import make_distribution_test
 from .problem import ERProblem
-from .signatures import ProblemSignature, SignatureStore, supports_signatures
+from .signatures import (
+    ProblemSignature,
+    SignatureStore,
+    search_similarities,
+    supports_signatures,
+)
+from .sketch_index import SketchIndex
 
 __all__ = ["ClusterEntry", "ModelRepository"]
 
@@ -87,6 +97,24 @@ class ModelRepository:
         the cache only pays off when the same problem is solved
         repeatedly; entry signatures are cached separately and are not
         subject to this bound.
+    use_index : {"auto", True, False}, optional
+        Sketch-index (ANN) search: prefilter entries by sketch distance
+        before the exact ``sim_p`` rerank. ``"auto"`` (the default)
+        switches the index on once the repository holds at least
+        ``index_threshold`` entries, so small repositories — including
+        every Table 4/5 reproduction — keep the byte-identical exact
+        scan. ``False`` always scans exactly; ``True`` always uses the
+        index. Defaults to the config's ``use_index`` when a config is
+        given. The index requires the signature path; with
+        ``use_signatures=False`` searches stay exact.
+    index_threshold : int, optional
+        Entry count at which ``"auto"`` switches to indexed search.
+    n_candidates : int, optional
+        How many sketch-nearest entries survive into the exact rerank;
+        the default scales as ``max(8 * top_k, 48)`` per query. Larger
+        values trade speed for recall.
+    sketch_bins : int
+        Histogram bins per feature in the sketch vectors.
 
     Notes
     -----
@@ -99,7 +127,8 @@ class ModelRepository:
     """
 
     def __init__(self, test="ks", config=None, use_signatures=True,
-                 signature_cache_size=16):
+                 signature_cache_size=16, use_index=None,
+                 index_threshold=None, n_candidates=None, sketch_bins=16):
         if isinstance(test, str):
             test = make_distribution_test(test)
         self.test = test
@@ -107,9 +136,26 @@ class ModelRepository:
         self.entries = {}
         self._next_id = 0
         self.use_signatures = bool(use_signatures) and supports_signatures(test)
+        if use_index is None:
+            use_index = config.use_index if config else "auto"
+        if index_threshold is None:
+            index_threshold = (
+                config.index_threshold if config
+                else DEFAULT_INDEX_THRESHOLD
+            )
+        check_index_settings(use_index, index_threshold)
+        if n_candidates is None and config and config.search_candidates:
+            n_candidates = config.search_candidates
+        if n_candidates is not None and n_candidates < 1:
+            raise ValueError("n_candidates must be >= 1")
+        self.use_index = use_index
+        self.index_threshold = int(index_threshold)
+        self.n_candidates = None if n_candidates is None else int(n_candidates)
         self._key_index = {}
         self._entry_signatures = {}
         self._probe_signatures = SignatureStore(signature_cache_size)
+        self._sketch_index = SketchIndex(n_bins=sketch_bins)
+        self._index_pending = set()
 
     def __len__(self):
         return len(self.entries)
@@ -132,12 +178,15 @@ class ModelRepository:
         self.entries[entry.cluster_id] = entry
         self._next_id += 1
         self._register_keys(entry)
+        self._index_pending.add(entry.cluster_id)
         return entry.cluster_id
 
     def remove_entry(self, cluster_id):
         """Drop an entry (superseded after reclustering)."""
         entry = self.entries.pop(cluster_id)
         self._entry_signatures.pop(cluster_id, None)
+        self._sketch_index.discard(cluster_id)
+        self._index_pending.discard(cluster_id)
         for key in entry.problem_keys:
             self._unindex_key(key, cluster_id)
 
@@ -174,9 +223,14 @@ class ModelRepository:
         entry.problem_keys = cluster
 
     def invalidate_entry_cache(self, cluster_id):
-        """Drop the cached signature after an entry's representative
-        changed (retraining replaces ``training_features``)."""
+        """Drop the cached signature *and* the sketch row after an
+        entry's representative changed (retraining replaces
+        ``training_features``); both are rebuilt lazily at the next
+        search."""
         self._entry_signatures.pop(cluster_id, None)
+        self._sketch_index.discard(cluster_id)
+        if cluster_id in self.entries:
+            self._index_pending.add(cluster_id)
 
     def _register_keys(self, entry):
         for key in entry.problem_keys:
@@ -194,13 +248,38 @@ class ModelRepository:
         if signature is None or signature.features is not entry.training_features:
             signature = ProblemSignature(entry.training_features)
             self._entry_signatures[entry.cluster_id] = signature
+            # The identity safety net caught a replaced representative:
+            # the sketch row (if any) is stale too.
+            self._sketch_index.discard(entry.cluster_id)
+            self._index_pending.add(entry.cluster_id)
         return signature
 
-    def _search_signatures(self, problem, features):
-        """Probe + per-entry signatures, or ``None`` when any matrix
-        falls outside the signature kernels' ``[0, 1]`` domain — the
-        naive path then handles the search exactly as it did pre-cache
-        (KS/WD accept any range, PSI clips)."""
+    def _resolve_use_index(self, use_index):
+        if use_index is None:
+            use_index = self.use_index
+        if use_index == "auto":
+            return len(self.entries) >= self.index_threshold
+        return bool(use_index)
+
+    def _sync_sketch_index(self):
+        """Fold pending entries (inserted or invalidated since the last
+        indexed search) into the sketch matrix."""
+        if not self._index_pending:
+            return
+        for cluster_id in list(self._index_pending):
+            entry = self.entries.get(cluster_id)
+            if entry is not None:
+                self._sketch_index.add(
+                    cluster_id, self._entry_signature(entry)
+                )
+            self._index_pending.discard(cluster_id)
+
+    def _score_signatures(self, problem, features, use_index,
+                          n_candidates, top_k):
+        """``(similarity, entry)`` pairs via the signature kernels, or
+        ``None`` when any matrix falls outside the kernels' ``[0, 1]``
+        domain — the naive path then handles the search exactly as it
+        did pre-cache (KS/WD accept any range, PSI clips)."""
         try:
             if isinstance(problem, ERProblem):
                 probe = self._probe_signatures.signature(
@@ -208,14 +287,41 @@ class ModelRepository:
                 )
             else:
                 probe = ProblemSignature(features)
-            return probe, [
-                self._entry_signature(entry)
+            if self._resolve_use_index(use_index):
+                return self._score_indexed(probe, n_candidates, top_k)
+            return [
+                (
+                    float(self.test.signature_similarity(
+                        probe, self._entry_signature(entry)
+                    )),
+                    entry,
+                )
                 for entry in self.entries.values()
             ]
         except ValueError:
             return None
 
-    def search(self, problem, top_k=None):
+    def _score_indexed(self, probe, n_candidates, top_k):
+        """Sketch prefilter + exact rerank over the candidates."""
+        self._sync_sketch_index()
+        wanted = top_k or 1
+        if n_candidates is None:
+            n_candidates = self.n_candidates or max(8 * wanted, 48)
+        candidate_ids = self._sketch_index.query(
+            probe, max(int(n_candidates), wanted)
+        )
+        entries = [self.entries[cid] for cid in candidate_ids]
+        similarities = search_similarities(
+            self.test, probe,
+            [self._entry_signature(entry) for entry in entries],
+        )
+        return [
+            (float(similarity), entry)
+            for similarity, entry in zip(similarities, entries)
+        ]
+
+    def search(self, problem, top_k=None, use_index=None,
+               n_candidates=None):
         """Repository *search*: best entry (or entries) for a problem.
 
         Compares the problem's feature vectors against every entry's
@@ -223,6 +329,9 @@ class ModelRepository:
         distribution test — the :math:`sel_{base}` primitive (§4.5). On
         the signature path the probe is summarised once and each entry's
         representative signature is cached (invalidated on retraining).
+        Large repositories additionally prefilter candidates through
+        the sketch index (see the class docstring and
+        :mod:`repro.core.sketch_index`) before the exact rerank.
 
         Parameters
         ----------
@@ -233,6 +342,13 @@ class ModelRepository:
             ``(entry, similarity)`` pairs sorted by descending
             similarity; the default returns the single best pair
             ``(entry, similarity)``.
+        use_index : {"auto", True, False}, optional
+            Per-call override of the constructor setting. Like the
+            constructor flag it requires the signature path: with
+            ``use_signatures=False`` (or a test without signature
+            kernels) searches stay exact regardless.
+        n_candidates : int, optional
+            Per-call override of the rerank width (indexed mode only).
         """
         if not self.entries:
             raise LookupError("the repository is empty; fit MoRER first")
@@ -242,26 +358,21 @@ class ModelRepository:
             ) or top_k < 1:
                 raise ValueError("top_k must be a positive integer")
             top_k = int(top_k)
+        if use_index is not None:
+            check_index_settings(use_index, self.index_threshold)
+        if n_candidates is not None and n_candidates < 1:
+            raise ValueError("n_candidates must be >= 1")
         features = (
             problem.features if isinstance(problem, ERProblem) else problem
         )
-        signatures = (
-            self._search_signatures(problem, features)
+        scored = (
+            self._score_signatures(
+                problem, features, use_index, n_candidates, top_k
+            )
             if self.use_signatures
             else None
         )
-        if signatures is not None:
-            probe, entry_signatures = signatures
-            scored = [
-                (
-                    float(self.test.signature_similarity(probe, signature)),
-                    entry,
-                )
-                for signature, entry in zip(
-                    entry_signatures, self.entries.values()
-                )
-            ]
-        else:
+        if scored is None:
             scored = [
                 (
                     float(self.test.problem_similarity(
@@ -291,6 +402,14 @@ class ModelRepository:
             "test": self.test.name,
             "config": self.config.to_dict() if self.config else None,
             "next_id": self._next_id,
+            # Constructor-level search settings survive the round trip
+            # even without a config (loading falls back to these).
+            "search": {
+                "use_index": self.use_index,
+                "index_threshold": self.index_threshold,
+                "n_candidates": self.n_candidates,
+                "sketch_bins": self._sketch_index.n_bins,
+            },
             "entries": [],
         }
         arrays = {}
@@ -327,8 +446,13 @@ class ModelRepository:
         )
         test_name = manifest["test"]
         test_params = config.test_params if config else {}
+        search = manifest.get("search") or {}
         repository = cls(
-            make_distribution_test(test_name, **test_params), config
+            make_distribution_test(test_name, **test_params), config,
+            use_index=search.get("use_index"),
+            index_threshold=search.get("index_threshold"),
+            n_candidates=search.get("n_candidates"),
+            sketch_bins=search.get("sketch_bins", 16),
         )
         arrays = np.load(path / "vectors.npz")
         for meta in manifest["entries"]:
@@ -349,5 +473,8 @@ class ModelRepository:
             )
             repository.entries[cluster_id] = entry
             repository._register_keys(entry)
+            # Loaded entries bypass add_entry, so queue their sketch
+            # rows explicitly — the first indexed search builds them.
+            repository._index_pending.add(cluster_id)
         repository._next_id = manifest["next_id"]
         return repository

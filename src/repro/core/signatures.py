@@ -27,9 +27,10 @@ Cached statistic -> paper equation map
     Per-feature equal-width bin counts over ``[0, 1]`` — the binned
     proportions of the PSI index (Eq. 3), computed lazily per bin count
     and memoized.
-``stds``
+``stds`` / ``means``
     Per-feature standard deviations — the discriminative-power weights
-    of the ``sim_p`` aggregation (§4.2).
+    of the ``sim_p`` aggregation (§4.2) — and per-feature means, the
+    summary moments the sketch index folds into its vectors.
 ``features``
     The raw matrix is retained for the multivariate C2ST, whose
     subsample draws are order-sensitive in the shared RNG stream and
@@ -60,6 +61,7 @@ __all__ = [
     "SignatureStore",
     "problem_signature",
     "pairwise_similarities",
+    "search_similarities",
     "supports_signatures",
 ]
 
@@ -88,6 +90,7 @@ class ProblemSignature:
         "_flat",
         "_self_cdf",
         "_stds",
+        "_means",
         "_boundary_flat",
         "_histograms",
     )
@@ -120,6 +123,7 @@ class ProblemSignature:
         self._flat = None
         self._self_cdf = None
         self._stds = None
+        self._means = None
         self._boundary_flat = None
         self._histograms = {}
 
@@ -157,6 +161,12 @@ class ProblemSignature:
         if self._stds is None:
             self._stds = self.features.std(axis=0)
         return self._stds
+
+    @property
+    def means(self):
+        if self._means is None:
+            self._means = self.features.mean(axis=0)
+        return self._means
 
     def _deflatten(self, indices, n_rows):
         """Reshape flat searchsorted indices back to per-column counts."""
@@ -304,3 +314,23 @@ def pairwise_similarities(signatures, test):
                 test.signature_similarity(signatures[j], signatures[i])
             )
     return matrix
+
+
+def search_similarities(test, probe, signatures):
+    """``sim_p`` of one probe against many candidate signatures.
+
+    The one-vs-many kernel behind the ANN rerank in
+    :meth:`ModelRepository.search`: tests that implement
+    ``signature_similarity_many`` (KS/WD/PSI do) evaluate every
+    candidate in batched numpy; others (C2ST) fall back to one
+    vectorized ``signature_similarity`` call per candidate. Always
+    computed in ``sim_p(probe, candidate)`` orientation.
+    """
+    signatures = list(signatures)
+    batched = getattr(test, "signature_similarity_many", None)
+    if callable(batched):
+        return np.asarray(batched(probe, signatures), dtype=float)
+    return np.array([
+        test.signature_similarity(probe, signature)
+        for signature in signatures
+    ])

@@ -1,5 +1,9 @@
 """Experiment drivers regenerating every table and figure of §5."""
 
+from .fig2 import heterogeneity_score, run_fig2
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
 from .harness import (
     MethodResult,
     concat_predictions,
@@ -13,10 +17,6 @@ from .reporting import format_prf, format_table, rows_to_csv
 from .table2 import run_table2
 from .table4 import run_table4
 from .table5 import run_table5, speedup_rows
-from .fig2 import heterogeneity_score, run_fig2
-from .fig5 import run_fig5
-from .fig6 import run_fig6
-from .fig7 import run_fig7
 
 __all__ = [
     "MethodResult",

@@ -27,8 +27,8 @@ from ..baselines import (
     UnicornClassifier,
 )
 from ..core import MoRER, MoRERConfig
-from ..core.selection import pool_problems
 from ..core.morer import CountingOracle
+from ..core.selection import pool_problems
 from ..datasets import pairs_for_problem, record_index
 from ..ml import RandomForestClassifier, precision_recall_f1
 from ..ml.utils import check_random_state

@@ -18,8 +18,8 @@ from __future__ import annotations
 import math
 
 from ..ml.utils import check_random_state
-from .quality import communities_from_partition
 from .louvain import local_move
+from .quality import communities_from_partition
 
 __all__ = ["leiden"]
 

@@ -1,6 +1,5 @@
 """ER problem graph (§4.3) and budget distribution (§4.4) tests."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -1,6 +1,5 @@
 """Integration tests: the experiment harness at tiny scale."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

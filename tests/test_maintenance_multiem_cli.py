@@ -6,7 +6,6 @@ import pytest
 from repro.baselines import MultiEM
 from repro.cli import build_parser, main as cli_main
 from repro.core import (
-    ERProblemGraph,
     MoRER,
     adjusted_rand_index,
     cluster_conductance,

@@ -5,13 +5,12 @@ import pytest
 
 from repro.core import (
     CountingOracle,
-    ERProblem,
     ModelRepository,
     MoRER,
     MoRERConfig,
 )
 from repro.ml import RandomForestClassifier, precision_recall_f1
-from tests.conftest import make_problem, make_problem_family
+from tests.conftest import make_problem
 
 
 # -- config -----------------------------------------------------------------------
@@ -106,6 +105,62 @@ def test_repository_save_load_roundtrip(tmp_path, problem_family):
     predictions_a = entry_a.predict(probe.features)
     predictions_b = entry_b.predict(probe.features)
     assert np.array_equal(predictions_a, predictions_b)
+
+
+def test_repository_retrain_invalidation_evicts_signature_and_sketch():
+    """Retraining an entry must evict both its cached signature and its
+    sketch-index row, and the next search must see the new model."""
+    problems = [
+        make_problem(f"S{i}", f"T{i}", shift=0.0, seed=i) for i in range(6)
+    ]
+    repo = _fitted_entry_repo(problems)
+    repo.use_index = True  # force the sketch path regardless of size
+    probe = make_problem("X", "Y", shift=0.35, seed=50)
+    repo.search(probe)  # populate signature cache + sketch rows
+    entry_id = next(iter(repo.entries))
+    assert entry_id in repo._entry_signatures
+    assert entry_id in repo._sketch_index
+    # "Retrain" the entry onto the probe's (shifted) regime.
+    entry = repo.entries[entry_id]
+    replacement = make_problem("R", "S", shift=0.35, seed=60)
+    entry.training_features = replacement.features
+    entry.training_labels = replacement.labels
+    repo.invalidate_entry_cache(entry_id)
+    assert entry_id not in repo._entry_signatures
+    assert entry_id not in repo._sketch_index
+    # The next search rebuilds both lazily and the retrained entry now
+    # wins for probes from the new regime.
+    best, similarity = repo.search(probe, n_candidates=len(repo))
+    assert best.cluster_id == entry_id
+    assert entry_id in repo._sketch_index
+    exact_best, exact_similarity = repo.search(probe, use_index=False)
+    assert exact_best.cluster_id == entry_id
+    assert abs(similarity - exact_similarity) < 1e-9
+
+
+def test_repository_search_consistent_after_repeated_invalidation():
+    """Alternating invalidations and indexed searches must never serve
+    a stale sketch row (the row is rebuilt from the fresh signature)."""
+    problems = [
+        make_problem(f"S{i}", f"T{i}", shift=0.1 * (i % 3), seed=i)
+        for i in range(8)
+    ]
+    repo = _fitted_entry_repo(problems)
+    repo.use_index = True
+    probe = make_problem("X", "Y", seed=9)
+    for step in range(3):
+        entry_id = list(repo.entries)[step % len(repo.entries)]
+        entry = repo.entries[entry_id]
+        replacement = make_problem(
+            "R", "S", shift=0.12 * step, seed=70 + step
+        )
+        entry.training_features = replacement.features
+        repo.invalidate_entry_cache(entry_id)
+        indexed = repo.search(probe, top_k=3, n_candidates=len(repo))
+        exact = repo.search(probe, top_k=3, use_index=False)
+        assert [e.cluster_id for e, _ in indexed] == [
+            e.cluster_id for e, _ in exact
+        ], step
 
 
 # -- counting oracle ----------------------------------------------------------------

@@ -158,6 +158,106 @@ def test_pairwise_similarities_preserves_c2st_orientation():
             assert matrix[i, j] == pytest.approx(raw, abs=TOLERANCE), (i, j)
 
 
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_wd_psi_matrix_equivalence_property(seed):
+    """Property: the batched WD/PSI matrix kernels agree with per-pair
+    ``signature_similarity`` below 1e-9, mirroring the KS suite.
+
+    Covers both the equal-size fast branch (quantile form for WD,
+    stacked proportions for PSI) and the mixed-size fallback.
+    """
+    rng = np.random.default_rng(seed)
+    n_problems = int(rng.integers(3, 7))
+    n_features = int(rng.integers(1, 5))
+    uniform = bool(rng.integers(0, 2))
+    base = int(rng.integers(5, 40))
+    matrices = [
+        rng.random((base if uniform else int(rng.integers(2, 40)),
+                    n_features))
+        for _ in range(n_problems)
+    ]
+    if rng.integers(0, 2):  # exercise the constant-weight fallback
+        matrices[0] = np.full_like(matrices[0], 0.5)
+    signatures = [ProblemSignature(m) for m in matrices]
+    for name in ("wd", "psi"):
+        test = make_distribution_test(name)
+        matrix = test.signature_similarity_matrix(signatures)
+        assert np.array_equal(matrix, matrix.T), name
+        for i in range(n_problems):
+            assert matrix[i, i] == 1.0
+            for j in range(i):
+                raw = test.signature_similarity(
+                    signatures[i], signatures[j]
+                )
+                assert abs(matrix[i, j] - raw) < TOLERANCE, (name, i, j)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_signature_similarity_many_equivalence_property(seed):
+    """Property: the one-vs-many search kernels agree with per-pair
+    ``signature_similarity`` below 1e-9 for KS, WD and PSI."""
+    rng = np.random.default_rng(seed)
+    n_candidates = int(rng.integers(1, 6))
+    n_features = int(rng.integers(1, 5))
+    uniform = bool(rng.integers(0, 2))
+    base = int(rng.integers(5, 40))
+    probe = ProblemSignature(rng.random((base, n_features)))
+    candidates = [
+        ProblemSignature(
+            rng.random((base if uniform else int(rng.integers(2, 40)),
+                        n_features))
+        )
+        for _ in range(n_candidates)
+    ]
+    for name in ("ks", "wd", "psi"):
+        test = make_distribution_test(name)
+        many = test.signature_similarity_many(probe, candidates)
+        assert many.shape == (n_candidates,)
+        for j, candidate in enumerate(candidates):
+            raw = test.signature_similarity(probe, candidate)
+            assert abs(many[j] - raw) < TOLERANCE, (name, j)
+
+
+@pytest.mark.parametrize("name", ["wd", "psi"])
+def test_wd_psi_matrix_rejects_feature_space_mismatch(name):
+    test = make_distribution_test(name)
+    signatures = [
+        ProblemSignature(np.full((5, 3), 0.5)),
+        ProblemSignature(np.full((5, 4), 0.5)),
+    ]
+    with pytest.raises(ValueError, match="feature space"):
+        test.signature_similarity_matrix(signatures)
+    with pytest.raises(ValueError, match="feature space"):
+        test.signature_similarity_many(signatures[0], signatures[1:])
+
+
+@pytest.mark.parametrize("name", ["wd", "psi"])
+def test_graph_build_uses_batched_wd_psi(name):
+    """pairwise_similarities must route WD/PSI through their new matrix
+    kernels (KS already had one)."""
+    problems = make_problem_family(5)
+    signatures = [ProblemSignature(p) for p in problems]
+    test = make_distribution_test(name)
+    calls = []
+    original = test.signature_similarity_matrix
+
+    def spy(sigs):
+        calls.append(len(sigs))
+        return original(sigs)
+
+    test.signature_similarity_matrix = spy
+    matrix = pairwise_similarities(signatures, test)
+    assert calls == [5]
+    for i in range(5):
+        for j in range(i):
+            raw = test.problem_similarity(
+                problems[i].features, problems[j].features
+            )
+            assert abs(matrix[i, j] - raw) < TOLERANCE
+
+
 def test_ks_matrix_handles_unequal_sizes_and_constant_features():
     """The batched KS kernel's non-uniform and constant-weight branches
     must match the pair path."""
