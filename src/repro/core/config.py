@@ -95,11 +95,34 @@ class MoRERConfig:
         Repository-search sketch index (ANN prefilter + exact rerank).
         ``"auto"`` enables it only at ``index_threshold`` entries, so
         paper-scale reproductions keep the byte-identical exact scan.
+        The same setting gates the ER problem graph's insertion
+        prefilter (``sel_cov`` integration, §4.5).
     index_threshold : int
-        Entry count at which ``"auto"`` switches to indexed search.
+        Entry count at which ``"auto"`` switches to indexed search (and
+        at which ``"auto"`` incremental clustering / graph prefiltering
+        engage).
     search_candidates : int
         Rerank width for indexed search; 0 means the per-query default
         ``max(8 * top_k, 48)``.
+    incremental_clustering : {"auto", True, False}
+        Warm-start ``sel_cov`` reclustering from the cached partition
+        (bounded local moves around the inserted problem) instead of a
+        full Leiden run per solve. ``"auto"`` (the default) engages
+        only once the graph holds ``index_threshold`` problems, so
+        paper-scale reproductions keep byte-identical clusterings.
+        Only effective with ``clustering_algorithm="leiden"``.
+    recluster_tolerance : float
+        Modularity head-room for incremental reclustering: when a
+        warm-started partition scores more than this below the last
+        full run, a full Leiden run is redone.
+    full_recluster_every : int
+        Force a full recluster after this many incremental insertions
+        (drift bound that modularity alone cannot provide).
+    graph_candidates : int
+        How many sketch-nearest existing problems a ``sel_cov``
+        insertion is compared (and connected) to once the graph
+        prefilter engages; 0 means the per-insert default
+        ``max(64, 4 * sqrt(problems))``.
     random_state : int
         Master seed.
     """
@@ -123,6 +146,10 @@ class MoRERConfig:
     use_index: object = "auto"
     index_threshold: int = DEFAULT_INDEX_THRESHOLD
     search_candidates: int = 0
+    incremental_clustering: object = "auto"
+    recluster_tolerance: float = 0.05
+    full_recluster_every: int = 50
+    graph_candidates: int = 0
     random_state: int = 0
 
     def __post_init__(self):
@@ -143,6 +170,16 @@ class MoRERConfig:
         check_index_settings(self.use_index, self.index_threshold)
         if self.search_candidates < 0:
             raise ValueError("search_candidates must be >= 0")
+        if self.incremental_clustering not in (True, False, "auto"):
+            raise ValueError(
+                "incremental_clustering must be True, False or 'auto'"
+            )
+        if self.recluster_tolerance < 0:
+            raise ValueError("recluster_tolerance must be >= 0")
+        if self.full_recluster_every < 1:
+            raise ValueError("full_recluster_every must be >= 1")
+        if self.graph_candidates < 0:
+            raise ValueError("graph_candidates must be >= 0")
 
     def to_dict(self):
         """Plain-dict form (JSON-safe) for repository manifests."""

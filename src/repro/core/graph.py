@@ -3,8 +3,8 @@
 Vertices are ER problems (keyed by source pair), edges carry the
 aggregated distribution similarity ``sim_p``. The graph is clustered
 with Leiden by default and is extendable: new unsolved problems are
-attached by comparing them against all existing vertices (the
-``sel_cov`` strategy of §4.5 reclusters after insertion).
+attached by comparing them against existing vertices (the ``sel_cov``
+strategy of §4.5 reclusters after insertion).
 
 Pairwise analysis is the O(P²·F) hot loop of construction, so the
 graph keeps one :class:`~repro.core.signatures.ProblemSignature` per
@@ -13,15 +13,34 @@ evaluates edges with the tests' vectorized ``signature_similarity``
 kernels. Computed pair similarities are memoized in a pair cache that
 survives :meth:`remove_problem`, so ``sel_cov`` re-insertions and
 repeated reclustering never repeat a comparison.
+
+Two mechanisms keep *insertion* sublinear in graph size at scale:
+
+* a sketch-index prefilter (the same filter-then-verify pattern as
+  repository search, see :mod:`repro.core.sketch_index`): once the
+  graph outgrows ``index_threshold`` vertices, a new problem is
+  compared — and connected — only to its ``n_candidates``
+  sketch-nearest vertices instead of every vertex;
+* warm-started reclustering: :meth:`cluster` accepts the previous
+  partition (``seed_communities``) plus the inserted keys
+  (``changed_keys``) and routes to
+  :func:`~repro.graphcluster.incremental_leiden`, which re-examines
+  only the perturbed neighbourhood.
+
+Both are off below the threshold (and via ``use_index=False``), where
+the exact all-vertices behaviour is preserved byte for byte.
 """
 
 from __future__ import annotations
 
+import math
 import weakref
 
-from ..graphcluster import CLUSTERING_ALGORITHMS, Graph
+from ..graphcluster import CLUSTERING_ALGORITHMS, Graph, incremental_leiden
+from .config import DEFAULT_INDEX_THRESHOLD, check_index_settings
 from .distribution import make_distribution_test
 from .signatures import SignatureStore, pairwise_similarities, supports_signatures
+from .sketch_index import SketchIndex
 
 __all__ = ["ERProblemGraph"]
 
@@ -50,15 +69,38 @@ class ERProblemGraph:
         reference behaviour for the equivalence suite and benchmarks.
     signature_cache_size : int
         Capacity of the LRU signature store.
+    use_index : {"auto", True, False}
+        Sketch-prefilter insertions: compare a new problem only against
+        its sketch-nearest existing vertices. ``"auto"`` (the default)
+        engages at ``index_threshold`` vertices; ``False`` always
+        compares against every vertex (the exact §4.5 behaviour). The
+        prefilter requires the signature path; with
+        ``use_signatures=False`` insertions stay exact.
+    index_threshold : int
+        Vertex count at which ``"auto"`` starts prefiltering.
+    n_candidates : int
+        How many sketch-nearest vertices survive into the exact
+        comparison (and edge creation); 0 means the per-insert default
+        ``max(64, 4 * sqrt(vertices))``.
+    sketch_bins : int
+        Histogram bins per feature in the sketch vectors.
     """
 
     def __init__(self, test="ks", min_similarity=0.0, use_signatures=True,
-                 signature_cache_size=4096):
+                 signature_cache_size=4096, use_index="auto",
+                 index_threshold=DEFAULT_INDEX_THRESHOLD, n_candidates=0,
+                 sketch_bins=16):
         if isinstance(test, str):
             test = make_distribution_test(test)
+        check_index_settings(use_index, index_threshold)
+        if n_candidates < 0:
+            raise ValueError("n_candidates must be >= 0")
         self.test = test
         self.min_similarity = min_similarity
         self.use_signatures = bool(use_signatures) and supports_signatures(test)
+        self.use_index = use_index
+        self.index_threshold = int(index_threshold)
+        self.n_candidates = int(n_candidates)
         # The pair cache stores one value under an order-normalized key,
         # so it is only sound for order-symmetric tests (KS/WD/PSI, not
         # C2ST, whose subsampling depends on argument order).
@@ -66,6 +108,9 @@ class ERProblemGraph:
             test, "symmetric", False
         )
         self.graph = Graph()
+        #: Monotonic mutation counter (bumped by add/remove); consumers
+        #: caching a partition use it to detect out-of-band changes.
+        self.version = 0
         self._problems = {}
         self._signatures = SignatureStore(signature_cache_size)
         self._pair_cache = {}
@@ -74,6 +119,8 @@ class ERProblemGraph:
         # computed against; validates re-insertions independently of the
         # LRU signature store (eviction must not purge valid pairs).
         self._pair_witness = {}
+        self._sketch_index = SketchIndex(n_bins=sketch_bins)
+        self._index_pending = set()
 
     # -- construction ------------------------------------------------------
 
@@ -99,8 +146,10 @@ class ERProblemGraph:
                 raise ValueError(f"ER problem {key} already in the graph")
             instance.graph.add_node(key)
             instance._problems[key] = problem
+            instance.version += 1
             keys.append(key)
             instance._validate_pair_cache(key, problem.features)
+            instance._index_pending.add(key)
             signatures.append(
                 instance._signatures.signature(key, problem.features)
             )
@@ -125,7 +174,15 @@ class ERProblemGraph:
         return instance
 
     def add_problem(self, problem):
-        """Insert ``problem`` and weight edges to every existing vertex."""
+        """Insert ``problem`` and weight edges to existing vertices.
+
+        Below ``index_threshold`` (or with ``use_index=False``) the new
+        vertex is compared against *every* existing vertex — the exact
+        §4.5 integration. Past the threshold the sketch index prefilters
+        ``n_candidates`` nearest vertices and only those are compared
+        (and eligible for edges), keeping insertion cost bounded as the
+        graph grows.
+        """
         key = problem.key
         if key in self._problems:
             raise ValueError(f"ER problem {key} already in the graph")
@@ -134,7 +191,10 @@ class ERProblemGraph:
             self._validate_pair_cache(key, problem.features)
             signature = self._signatures.signature(key, problem.features)
         self.graph.add_node(key)
-        for other_key, other in self._problems.items():
+        others = self._problems
+        if signature is not None and self._prefilter_active():
+            others = self._candidate_problems(signature)
+        for other_key, other in others.items():
             if signature is not None:
                 similarity = None
                 if self._cache_pairs:
@@ -155,6 +215,9 @@ class ERProblemGraph:
             if similarity > self.min_similarity:
                 self.graph.add_edge(key, other_key, similarity)
         self._problems[key] = problem
+        self.version += 1
+        if self.use_signatures:
+            self._index_pending.add(key)
 
     def remove_problem(self, key):
         """Remove a problem vertex (used by repository maintenance).
@@ -166,6 +229,40 @@ class ERProblemGraph:
             raise KeyError(f"no ER problem {key} in the graph")
         self.graph.remove_node(key)
         del self._problems[key]
+        self.version += 1
+        self._sketch_index.discard(key)
+        self._index_pending.discard(key)
+
+    # -- sketch prefilter --------------------------------------------------
+
+    def _prefilter_active(self):
+        """Whether insertions go through the sketch prefilter."""
+        if not self.use_signatures or not self._problems:
+            return False
+        if self.use_index == "auto":
+            return len(self._problems) >= self.index_threshold
+        return bool(self.use_index)
+
+    def _resolve_candidates(self):
+        if self.n_candidates:
+            return self.n_candidates
+        return max(64, int(4 * math.sqrt(len(self._problems))))
+
+    def _candidate_problems(self, signature):
+        """The ``n_candidates`` sketch-nearest stored problems."""
+        self._sync_sketch_index()
+        keys = self._sketch_index.query(signature, self._resolve_candidates())
+        return {key: self._problems[key] for key in keys}
+
+    def _sync_sketch_index(self):
+        """Fold pending vertices into the sketch matrix."""
+        for key in list(self._index_pending):
+            problem = self._problems.get(key)
+            if problem is not None:
+                self._sketch_index.add(
+                    key, self._signatures.signature(key, problem.features)
+                )
+            self._index_pending.discard(key)
 
     # -- pair cache --------------------------------------------------------
 
@@ -254,11 +351,25 @@ class ERProblemGraph:
 
     # -- clustering ----------------------------------------------------------
 
-    def cluster(self, algorithm="leiden", resolution=1.0, random_state=None):
+    def cluster(self, algorithm="leiden", resolution=1.0, random_state=None,
+                seed_communities=None, changed_keys=()):
         """Partition the problems into clusters of similar ER tasks.
 
         Returns a list of sets of problem keys. Isolated vertices come
         back as singleton clusters.
+
+        Parameters
+        ----------
+        seed_communities : list of sets, optional
+            Warm start (Leiden only): the previous partition to update
+            incrementally via
+            :func:`~repro.graphcluster.incremental_leiden` instead of
+            reclustering from scratch. Keys no longer in the graph are
+            ignored; new keys start as singletons.
+        changed_keys : iterable, optional
+            Keys inserted (or whose edges changed) since
+            ``seed_communities`` was computed; only they and their
+            neighbours are re-examined.
         """
         if algorithm not in CLUSTERING_ALGORITHMS:
             raise KeyError(
@@ -267,6 +378,17 @@ class ERProblemGraph:
             )
         if len(self._problems) == 0:
             return []
+        if seed_communities is not None:
+            if algorithm != "leiden":
+                raise ValueError(
+                    "warm-started clustering (seed_communities) is only "
+                    "supported with algorithm='leiden'"
+                )
+            communities = incremental_leiden(
+                self.graph, seed_communities, changed_keys,
+                resolution=resolution, random_state=random_state,
+            )
+            return [set(community) for community in communities]
         func = CLUSTERING_ALGORITHMS[algorithm]
         if algorithm == "girvan_newman":
             communities = func(self.graph)

@@ -10,6 +10,16 @@ configured threshold, see :mod:`repro.core.sketch_index`) or
 :math:`sel_{cov}` (graph integration + coverage-driven retraining,
 which invalidates both the retrained entry's cached signature and its
 sketch row).
+
+``sel_cov`` at scale: every solve integrates the problem into
+:math:`G_P` and reclusters, so MoRER caches the last partition and —
+once ``config.incremental_clustering`` engages — updates it through
+:func:`~repro.graphcluster.incremental_leiden` (bounded local moves
+around the inserted vertex) instead of re-running full Leiden. The
+cache is invalidated coherently: a modularity drop beyond
+``recluster_tolerance``, ``full_recluster_every`` insertions, Eq. 14
+retraining, or any out-of-band graph mutation (detected through the
+graph's mutation counter) forces the next solve back onto a full run.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ import numpy as np
 
 from ..baselines.almser import AlmserActiveLearner
 from ..baselines.bootstrap import BootstrapActiveLearner
+from ..graphcluster import modularity
 from ..ml.utils import check_random_state
 from .budget import distribute_budget
 from .config import MoRERConfig, make_classifier
@@ -76,6 +87,15 @@ class MoRER:
         self.repository = None
         self.clusters_ = None
         self.trained_keys = set()
+        # Incremental sel_cov state: the cached partition, the graph
+        # version it was computed at, the keys inserted since, the last
+        # full run's modularity (degradation reference) and how many
+        # insertions the current warm-start streak has absorbed.
+        self._cluster_cache = None
+        self._cluster_version = -1
+        self._pending_keys = set()
+        self._full_modularity = None
+        self._inserts_since_full = 0
         self.timings = {
             "analysis": 0.0,      # pairwise distribution tests
             "clustering": 0.0,    # Leiden runs
@@ -110,9 +130,13 @@ class MoRER:
 
         started = time.perf_counter()
         self.problem_graph = ERProblemGraph.build(
-            initial_problems, self.test, self.config.min_similarity
+            initial_problems, self.test, self.config.min_similarity,
+            use_index=self.config.use_index,
+            index_threshold=self.config.index_threshold,
+            n_candidates=self.config.graph_candidates,
         )
         self.timings["analysis"] += time.perf_counter() - started
+        self._invalidate_cluster_cache()
 
         clusters = self._timed_cluster()
 
@@ -270,14 +294,77 @@ class MoRER:
         started = time.perf_counter()
         self.problem_graph.add_problem(problem)
         self.timings["analysis"] += time.perf_counter() - started
+        if self._track_cluster_cache():
+            self._pending_keys.add(problem.key)
+
+    def _invalidate_cluster_cache(self):
+        """Forget the cached partition; the next solve reclusters fully."""
+        self._cluster_cache = None
+        self._cluster_version = -1
+        self._pending_keys = set()
+        self._full_modularity = None
+        self._inserts_since_full = 0
+
+    def _track_cluster_cache(self):
+        """Whether incremental reclustering is configured at all."""
+        return (
+            self.config.incremental_clustering is not False
+            and self.config.clustering_algorithm == "leiden"
+        )
+
+    def _incremental_clustering_active(self):
+        """Whether the *next* recluster may warm-start from the cache."""
+        if not self._track_cluster_cache():
+            return False
+        if self._cluster_cache is None or self._full_modularity is None:
+            return False
+        if self._inserts_since_full >= self.config.full_recluster_every:
+            return False
+        graph = self.problem_graph
+        # Out-of-band mutations (e.g. remove_problem called directly on
+        # the graph) desync the version from the tracked insertions and
+        # coherently fall back to a full run.
+        if graph.version != self._cluster_version + len(self._pending_keys):
+            return False
+        if (
+            self.config.incremental_clustering == "auto"
+            and len(graph) < self.config.index_threshold
+        ):
+            return False
+        return True
 
     def _timed_cluster(self):
         started = time.perf_counter()
-        clusters = self.problem_graph.cluster(
-            self.config.clustering_algorithm,
-            self.config.resolution,
-            int(self._rng.integers(0, 2**31 - 1)),
-        )
+        graph = self.problem_graph
+        config = self.config
+        seed = int(self._rng.integers(0, 2**31 - 1))
+        clusters = None
+        if self._incremental_clustering_active():
+            candidate = graph.cluster(
+                config.clustering_algorithm, config.resolution, seed,
+                seed_communities=self._cluster_cache,
+                changed_keys=self._pending_keys,
+            )
+            quality = modularity(graph.graph, candidate, config.resolution)
+            if quality >= self._full_modularity - config.recluster_tolerance:
+                clusters = candidate
+                # Repeat solves of already-integrated problems leave
+                # pending empty: nothing changed, so the warm streak
+                # does not consume the periodic full-recluster budget.
+                self._inserts_since_full += len(self._pending_keys)
+        if clusters is None:
+            clusters = graph.cluster(
+                config.clustering_algorithm, config.resolution, seed
+            )
+            if self._track_cluster_cache():
+                self._full_modularity = modularity(
+                    graph.graph, clusters, config.resolution
+                )
+                self._inserts_since_full = 0
+        if self._track_cluster_cache():
+            self._cluster_cache = clusters
+            self._cluster_version = graph.version
+        self._pending_keys = set()
         self.timings["clustering"] += time.perf_counter() - started
         self.clusters_ = clusters
         return clusters
@@ -370,8 +457,10 @@ class MoRER:
         entry.trained_keys |= set(untrained)
         self.trained_keys |= set(untrained)
         # The entry's representative changed — its cached search
-        # signature is stale.
+        # signature is stale, and the cached partition no longer
+        # reflects the repository state it was computed against.
         self.repository.invalidate_entry_cache(entry.cluster_id)
+        self._invalidate_cluster_cache()
         return spent
 
     # -- reporting ----------------------------------------------------------------

@@ -431,6 +431,28 @@ class ModelRepository:
             arrays[f"labels_{entry.cluster_id}"] = entry.training_labels
             model_path = path / f"model_{entry.cluster_id}.json"
             model_path.write_text(json.dumps(entry.model.to_dict()))
+        if (
+            self.use_signatures
+            and self.entries
+            and self._resolve_use_index(None)
+        ):
+            # Persist the sketch matrix so a loaded repository's first
+            # indexed search skips the lazy per-entry rebuild. Stores
+            # whose searches resolve to the exact scan (use_index=False,
+            # or "auto" below the threshold) never query the index, so
+            # their saves skip the per-entry sketch cost and the load
+            # keeps rebuilding lazily if the store later outgrows the
+            # threshold. Entries whose representatives fall outside the
+            # signature domain (searches fall back to the naive scan
+            # for those anyway) also skip persistence.
+            try:
+                self._sync_sketch_index()
+                ids, rows = self._sketch_index.export_rows()
+                if len(ids) == len(self.entries):
+                    arrays["sketch_ids"] = np.asarray(ids, dtype=np.int64)
+                    arrays["sketch_rows"] = rows
+            except ValueError:
+                pass
         (path / "manifest.json").write_text(json.dumps(manifest, indent=2))
         np.savez_compressed(path / "vectors.npz", **arrays)
 
@@ -474,7 +496,26 @@ class ModelRepository:
             repository.entries[cluster_id] = entry
             repository._register_keys(entry)
             # Loaded entries bypass add_entry, so queue their sketch
-            # rows explicitly — the first indexed search builds them.
+            # rows explicitly — the first indexed search builds them
+            # (or restores them from the persisted matrix below).
             repository._index_pending.add(cluster_id)
         repository._next_id = manifest["next_id"]
+        if (
+            repository.use_signatures
+            and "sketch_ids" in arrays
+            and set(int(i) for i in arrays["sketch_ids"])
+            == set(repository.entries)
+        ):
+            ids = [int(i) for i in arrays["sketch_ids"]]
+            repository._sketch_index.bulk_load(ids, arrays["sketch_rows"])
+            for cluster_id in ids:
+                entry = repository.entries[cluster_id]
+                # Seed the signature cache with the loaded feature
+                # matrices so the identity safety net in
+                # _entry_signature recognises the persisted rows as
+                # current (statistics inside stay lazy).
+                repository._entry_signatures[cluster_id] = (
+                    ProblemSignature(entry.training_features)
+                )
+                repository._index_pending.discard(cluster_id)
         return repository

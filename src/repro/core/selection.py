@@ -6,6 +6,14 @@
 * :func:`select_cov` — :math:`sel_{cov}`: integrate the new problem
   into the ER problem graph, recluster, and retrain models whose
   clusters are no longer covered by their training data (Eqs. 13–14).
+
+At scale both ``sel_cov`` steps are sublinear in graph size: insertion
+goes through the graph's sketch prefilter (``n_candidates``
+sketch-nearest vertices instead of all vertices) and reclustering
+warm-starts from MoRER's cached partition via
+:func:`~repro.graphcluster.incremental_leiden` — see
+:meth:`MoRER._timed_cluster` for the cache/fallback policy. Below the
+configured thresholds both steps keep the paper's exact behaviour.
 """
 
 from __future__ import annotations

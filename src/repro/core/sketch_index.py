@@ -42,20 +42,31 @@ Recall/speed knobs
 ``metric``
     ``"l2"`` (default) or ``"l1"`` distance over sketch vectors.
 ``n_projections``
-    ``0`` (default) scans the full sketch matrix. For very large
-    repositories, a positive value adds a random-projection prefilter
-    (Johnson–Lindenstrauss style): queries scan the low-dimensional
-    projected matrix first and only ``oversample * n_candidates`` rows
-    pay the full-width distance.
+    ``"auto"`` (default) scans the full sketch matrix until the index
+    holds :data:`AUTO_PROJECTION_THRESHOLD` entries, then switches on a
+    random-projection prefilter (Johnson–Lindenstrauss style) whose
+    width and oversample are derived from the entry count: queries scan
+    the low-dimensional projected matrix first and only
+    ``oversample * n_candidates`` rows pay the full-width distance.
+    ``0`` disables projections outright; a positive value fixes the
+    width from the first add.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
 from .signatures import ProblemSignature
 
-__all__ = ["SketchIndex", "sketch_vector"]
+__all__ = ["SketchIndex", "sketch_vector", "AUTO_PROJECTION_THRESHOLD"]
+
+#: Entry count at which ``n_projections="auto"`` switches the index to
+#: the random-projection prefilter. Below ~10⁴ rows the full-width scan
+#: is a single fast matrix pass; past it the projected scan's lower
+#: bandwidth wins even after the oversampled rerank.
+AUTO_PROJECTION_THRESHOLD = 10_000
 
 
 def sketch_vector(signature, n_bins=16):
@@ -91,34 +102,51 @@ class SketchIndex:
         Histogram bins per feature (sketch resolution).
     metric : {"l2", "l1"}
         Distance between sketch vectors.
-    n_projections : int
-        ``0`` disables the random-projection prefilter; a positive
-        value scans a ``(n, n_projections)`` projected matrix first.
+    n_projections : int or "auto"
+        ``"auto"`` (default) auto-tunes: projections stay off until the
+        index holds ``auto_threshold`` entries, then switch on with a
+        width (and an oversample floor) derived from the entry count.
+        ``0`` disables the prefilter outright; a positive value scans a
+        ``(n, n_projections)`` projected matrix from the first add.
     oversample : int
         How many times ``n_candidates`` survive the projection
-        prefilter before the full-width distance pass.
+        prefilter before the full-width distance pass (auto-tuning may
+        raise, never lower, it).
+    auto_threshold : int
+        Entry count at which ``"auto"`` enables projections; defaults
+        to :data:`AUTO_PROJECTION_THRESHOLD`.
     random_state : int
         Seed for the projection matrix.
     """
 
-    def __init__(self, n_bins=16, metric="l2", n_projections=0,
-                 oversample=4, random_state=0):
+    def __init__(self, n_bins=16, metric="l2", n_projections="auto",
+                 oversample=4, auto_threshold=AUTO_PROJECTION_THRESHOLD,
+                 random_state=0):
         if n_bins < 2:
             raise ValueError("sketches need at least two histogram bins")
         if metric not in ("l1", "l2"):
             raise ValueError("metric must be 'l1' or 'l2'")
-        if n_projections < 0:
-            raise ValueError("n_projections must be >= 0")
+        if n_projections != "auto" and (
+            not isinstance(n_projections, (int, np.integer))
+            or isinstance(n_projections, bool)
+            or n_projections < 0
+        ):
+            raise ValueError("n_projections must be >= 0 or 'auto'")
         if oversample < 1:
             raise ValueError("oversample must be >= 1")
+        if auto_threshold < 1:
+            raise ValueError("auto_threshold must be >= 1")
         self.n_bins = int(n_bins)
         self.metric = metric
-        self.n_projections = int(n_projections)
+        self.n_projections = (
+            "auto" if n_projections == "auto" else int(n_projections)
+        )
         self.oversample = int(oversample)
+        self.auto_threshold = int(auto_threshold)
         self.random_state = random_state
         self._matrix = None       # (capacity, dim); rows [:_n] are live
-        self._projected = None    # (capacity, n_projections) mirror
-        self._projection = None   # (dim, n_projections)
+        self._projected = None    # (capacity, width) mirror
+        self._projection = None   # (dim, width)
         self._ids = []            # row -> entry id
         self._rows = {}           # entry id -> row
         self._n = 0
@@ -164,6 +192,8 @@ class SketchIndex:
         self._matrix[row] = vector
         if self._projection is not None:
             self._projected[row] = vector @ self._projection
+        else:
+            self._maybe_auto_enable()
 
     def discard(self, entry_id):
         """Drop ``entry_id``'s row (no-op when absent); returns whether
@@ -185,14 +215,52 @@ class SketchIndex:
         return True
 
     def clear(self):
-        self._ids.clear()
-        self._rows.clear()
+        self._ids = []
+        self._rows = {}
         self._n = 0
         # Release the storage too: an emptied index must accept a new
         # sketch width (and report dim None) like a fresh one.
         self._matrix = None
         self._projected = None
         self._projection = None
+
+    def export_rows(self):
+        """``(ids, matrix)`` snapshot of the live rows — the persistence
+        payload ``bulk_load`` restores. The matrix is a copy."""
+        return list(self._ids[:self._n]), (
+            np.empty((0, 0))
+            if self._matrix is None
+            else self._matrix[:self._n].copy()
+        )
+
+    def bulk_load(self, ids, matrix):
+        """Replace the contents with precomputed sketch rows.
+
+        The persistence path: rows exported at save time come back
+        without re-deriving any sketch from its signature, so a loaded
+        repository's first indexed search skips the lazy rebuild.
+        Projections (fixed-width or auto-tuned) are re-derived from the
+        configured ``random_state``, not persisted.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        ids = list(ids)
+        if matrix.ndim != 2 or matrix.shape[0] != len(ids):
+            raise ValueError("bulk_load needs one sketch row per id")
+        if len(set(ids)) != len(ids):
+            raise ValueError("bulk_load ids must be unique")
+        self.clear()
+        if not ids:
+            return
+        capacity = max(64, len(ids))
+        self._matrix = np.empty((capacity, matrix.shape[1]))
+        self._matrix[:len(ids)] = matrix
+        self._ids = ids
+        self._rows = {entry_id: row for row, entry_id in enumerate(ids)}
+        self._n = len(ids)
+        if self.n_projections != "auto" and self.n_projections:
+            self._enable_projections(self.n_projections)
+        else:
+            self._maybe_auto_enable()
 
     def query(self, signature, n_candidates):
         """Ids of the ``n_candidates`` entries nearest the probe's
@@ -233,14 +301,55 @@ class SketchIndex:
             return np.abs(delta).sum(axis=1)
         return np.einsum("ij,ij->i", delta, delta)
 
+    @staticmethod
+    def auto_projection_width(n_entries, dim):
+        """JL-style width for ``n_entries`` rows: O(log n), capped at
+        the sketch width (projecting *up* would only add noise)."""
+        return max(2, min(
+            int(dim), max(32, int(8 * math.log2(max(n_entries, 2))))
+        ))
+
+    def _maybe_auto_enable(self):
+        """Switch auto-tuned projections on once the threshold is hit:
+        JL-style width and an oversample floor, both derived from the
+        entry count (shared by incremental adds and bulk loads).
+
+        Narrow sketches stay exact: when the derived width reaches the
+        sketch dim there is no dimensionality left to shed, and a
+        square random projection would only add per-add/query work and
+        distance distortion on top of the full-width scan.
+        """
+        if (
+            self.n_projections != "auto"
+            or self._projection is not None
+            or self._n < self.auto_threshold
+        ):
+            return
+        dim = self._matrix.shape[1]
+        width = self.auto_projection_width(self._n, dim)
+        if width >= dim:
+            return
+        self._enable_projections(width)
+        self.oversample = max(
+            self.oversample, int(round(math.log2(self._n) / 2))
+        )
+
+    def _enable_projections(self, width):
+        """Build the projection matrix and project every live row."""
+        dim = self._matrix.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self._projection = rng.standard_normal(
+            (dim, width)
+        ) / np.sqrt(width)
+        self._projected = np.empty((self._matrix.shape[0], width))
+        self._projected[:self._n] = (
+            self._matrix[:self._n] @ self._projection
+        )
+
     def _allocate(self, dim, capacity=64):
         self._matrix = np.empty((capacity, dim))
-        if self.n_projections:
-            rng = np.random.default_rng(self.random_state)
-            self._projection = rng.standard_normal(
-                (dim, self.n_projections)
-            ) / np.sqrt(self.n_projections)
-            self._projected = np.empty((capacity, self.n_projections))
+        if self.n_projections != "auto" and self.n_projections:
+            self._enable_projections(self.n_projections)
 
     def _grow(self):
         capacity = 2 * self._matrix.shape[0]
@@ -248,7 +357,7 @@ class SketchIndex:
         matrix[:self._n] = self._matrix[:self._n]
         self._matrix = matrix
         if self._projected is not None:
-            projected = np.empty((capacity, self.n_projections))
+            projected = np.empty((capacity, self._projected.shape[1]))
             projected[:self._n] = self._projected[:self._n]
             self._projected = projected
 

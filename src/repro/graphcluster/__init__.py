@@ -16,7 +16,7 @@ from .components import (
 from .girvan_newman import edge_betweenness, girvan_newman
 from .graph import Graph
 from .label_propagation import label_propagation
-from .leiden import leiden
+from .leiden import incremental_leiden, leiden
 from .louvain import louvain
 from .mincut import min_cut_edges, stoer_wagner
 from .quality import (
@@ -37,6 +37,7 @@ CLUSTERING_ALGORITHMS = {
 __all__ = [
     "Graph",
     "leiden",
+    "incremental_leiden",
     "louvain",
     "label_propagation",
     "girvan_newman",

@@ -4,6 +4,12 @@ The ER problem similarity graph :math:`G_P` (§4.3) and the record match
 graphs used by Almser are both instances of this structure. It is a thin
 adjacency-dict graph tuned for the operations community detection needs:
 neighbour iteration, strengths, subgraphs and aggregation.
+
+Node strengths and the total edge weight are maintained incrementally
+(updated in O(1) per mutation), so ``strength`` and ``total_weight``
+are constant-time: the local-move and modularity hot loops ask for them
+once per node / per call, and recomputing them by walking adjacency
+lists made every clustering pass O(edges) before it even started.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ class Graph:
 
     def __init__(self):
         self._adj = {}
+        self._strengths = {}
+        self._total = 0.0
 
     # -- construction ------------------------------------------------------
 
@@ -28,6 +36,16 @@ class Graph:
         """Add ``node`` if not present."""
         if node not in self._adj:
             self._adj[node] = {}
+            self._strengths[node] = 0.0
+
+    def _shift_edge(self, u, v, delta):
+        """Book-keep a weight change of ``delta`` on the edge ``{u, v}``."""
+        self._total += delta
+        if u == v:
+            self._strengths[u] += 2 * delta
+        else:
+            self._strengths[u] += delta
+            self._strengths[v] += delta
 
     def add_edge(self, u, v, weight=1.0):
         """Add or overwrite the edge ``{u, v}`` with ``weight``."""
@@ -35,29 +53,38 @@ class Graph:
             raise ValueError("edge weights must be non-negative")
         self.add_node(u)
         self.add_node(v)
-        self._adj[u][v] = float(weight)
-        self._adj[v][u] = float(weight)
+        weight = float(weight)
+        self._shift_edge(u, v, weight - self._adj[u].get(v, 0.0))
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
 
     def increment_edge(self, u, v, weight=1.0):
         """Add ``weight`` to the edge ``{u, v}``, creating it if missing."""
         self.add_node(u)
         self.add_node(v)
-        new_weight = self._adj[u].get(v, 0.0) + float(weight)
+        weight = float(weight)
+        new_weight = self._adj[u].get(v, 0.0) + weight
+        self._shift_edge(u, v, weight)
         self._adj[u][v] = new_weight
         self._adj[v][u] = new_weight
 
     def remove_edge(self, u, v):
         """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
+        weight = self._adj[u][v]
         del self._adj[u][v]
         if u != v:
             del self._adj[v][u]
+        self._shift_edge(u, v, -weight)
 
     def remove_node(self, node):
         """Remove ``node`` and all incident edges."""
-        for neighbour in list(self._adj[node]):
+        for neighbour, weight in list(self._adj[node].items()):
             if neighbour != node:
                 del self._adj[neighbour][node]
+                self._strengths[neighbour] -= weight
+            self._total -= weight
         del self._adj[node]
+        del self._strengths[node]
 
     # -- queries -----------------------------------------------------------
 
@@ -88,11 +115,8 @@ class Graph:
         return len(self._adj[node])
 
     def strength(self, node):
-        """Weighted degree; self-loops count twice."""
-        total = 0.0
-        for neighbour, weight in self._adj[node].items():
-            total += 2 * weight if neighbour == node else weight
-        return total
+        """Weighted degree; self-loops count twice. O(1)."""
+        return self._strengths[node]
 
     def edges(self):
         """Yield ``(u, v, weight)`` once per undirected edge."""
@@ -111,8 +135,8 @@ class Graph:
         return sum(1 for _ in self.edges())
 
     def total_weight(self):
-        """Sum of edge weights ``m`` (self-loops counted once)."""
-        return sum(w for _, _, w in self.edges())
+        """Sum of edge weights ``m`` (self-loops counted once). O(1)."""
+        return self._total
 
     # -- derivations ---------------------------------------------------------
 
@@ -120,6 +144,8 @@ class Graph:
         """Deep copy of the structure (nodes are shared, weights copied)."""
         g = Graph()
         g._adj = {u: dict(adj) for u, adj in self._adj.items()}
+        g._strengths = dict(self._strengths)
+        g._total = self._total
         return g
 
     def subgraph(self, nodes):
@@ -132,8 +158,8 @@ class Graph:
             g.add_node(u)
         for u in keep:
             for v, weight in self._adj[u].items():
-                if v in keep:
-                    g._adj[u][v] = weight
+                if v in keep and v not in g._adj[u]:
+                    g.add_edge(u, v, weight)
         return g
 
     def aggregate(self, partition):

@@ -19,9 +19,9 @@ import math
 
 from ..ml.utils import check_random_state
 from .louvain import local_move
-from .quality import communities_from_partition
+from .quality import communities_from_partition, modularity
 
-__all__ = ["leiden"]
+__all__ = ["leiden", "incremental_leiden"]
 
 
 def leiden(
@@ -30,6 +30,8 @@ def leiden(
     random_state=None,
     max_levels=20,
     theta=0.01,
+    seed_partition=None,
+    queue_nodes=None,
 ):
     """Run Leiden; returns a list of node-set communities.
 
@@ -47,14 +49,32 @@ def leiden(
     theta : float
         Temperature of the randomised merge step; ``theta <= 0`` makes
         refinement greedy (deterministic best-gain merges).
+    seed_partition : dict, optional
+        Warm start: a ``node -> community label`` map the first local
+        move starts from instead of singletons. Nodes absent from the
+        map start as singletons. Labels must not collide with the ids
+        of unlisted nodes.
+    queue_nodes : iterable, optional
+        Restrict the first level's local-move work queue to these nodes
+        (moves still cascade to neighbours). Only meaningful together
+        with ``seed_partition`` — with a singleton start every node
+        must be queued for the result to make sense.
     """
     rng = check_random_state(random_state)
     # mapping: original node -> node of `current` it is represented by.
     mapping = {node: node for node in graph.nodes()}
     current = graph
-    partition = {node: node for node in graph.nodes()}
-    for _ in range(max_levels):
-        partition, moved = local_move(current, partition, resolution, rng)
+    if seed_partition is None:
+        partition = {node: node for node in graph.nodes()}
+    else:
+        partition = {
+            node: seed_partition.get(node, node) for node in graph.nodes()
+        }
+    for level in range(max_levels):
+        partition, moved = local_move(
+            current, partition, resolution, rng,
+            nodes=queue_nodes if level == 0 else None,
+        )
         n_communities = len(set(partition.values()))
         if not moved or n_communities == len(current):
             break
@@ -72,6 +92,65 @@ def leiden(
     for node in mapping:
         mapping[node] = partition[mapping[node]]
     return communities_from_partition(mapping)
+
+
+def incremental_leiden(
+    graph,
+    previous_communities,
+    changed_nodes=(),
+    resolution=1.0,
+    random_state=None,
+    max_levels=20,
+    theta=0.01,
+    tolerance=None,
+    reference_modularity=None,
+):
+    """Locally updated Leiden partition after a small graph change.
+
+    Seeds the partition with ``previous_communities`` (nodes the
+    previous clustering did not cover start as singletons) and runs one
+    bounded local move whose work queue holds only ``changed_nodes``
+    and their graph neighbours, so an insertion re-examines the
+    neighbourhood it perturbed instead of sweeping the whole graph.
+    Refinement and aggregation are deliberately skipped — with a
+    near-converged seed they re-derive the seed at full-graph cost —
+    which is what makes the update sublinear in practice; quality is
+    guarded by the fallback below, not by Leiden's per-run guarantees.
+
+    When ``tolerance`` and ``reference_modularity`` are given and the
+    updated partition's modularity falls more than ``tolerance`` below
+    the reference (normally the last full run's modularity), the local
+    update is discarded and a full :func:`leiden` run decides — the
+    safety valve against drift accumulating over many local updates.
+    Callers should additionally force a periodic full run (MoRER's
+    ``full_recluster_every``), since modularity alone cannot see every
+    kind of degradation (e.g. internally disconnected communities).
+
+    Returns a list of node-set communities, like :func:`leiden`.
+    """
+    rng = check_random_state(random_state)
+    seed = {}
+    for community in previous_communities:
+        label = None
+        for node in community:
+            if label is None:
+                label = node
+            seed[node] = label
+    partition = {node: seed.get(node, node) for node in graph.nodes()}
+    queue_nodes = set()
+    for node in changed_nodes:
+        if node in graph:
+            queue_nodes.add(node)
+            queue_nodes.update(graph.neighbors(node))
+    partition, _ = local_move(
+        graph, partition, resolution, rng, nodes=queue_nodes
+    )
+    communities = communities_from_partition(partition)
+    if tolerance is not None and reference_modularity is not None:
+        quality = modularity(graph, communities, resolution)
+        if quality < reference_modularity - tolerance:
+            return leiden(graph, resolution, rng, max_levels, theta)
+    return communities
 
 
 def _refine(graph, partition, resolution, rng, theta):

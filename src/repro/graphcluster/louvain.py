@@ -15,12 +15,24 @@ from .quality import communities_from_partition
 __all__ = ["louvain", "local_move"]
 
 
-def local_move(graph, partition, resolution=1.0, rng=None):
+def local_move(graph, partition, resolution=1.0, rng=None, nodes=None):
     """Queue-based fast local move.
 
     Each node is repeatedly offered its best neighbouring community by
     modularity gain; neighbours of moved nodes are re-queued. Terminates
     because every accepted move strictly increases modularity.
+
+    Parameters
+    ----------
+    nodes : iterable, optional
+        Bounded work-queue variant: seed the queue with only these
+        nodes instead of every node of the graph. Neighbours of moved
+        nodes still join the queue, so improvements propagate outward
+        exactly as in the full sweep — the incremental reclustering
+        path uses this to touch only the region around an insertion.
+        The seed queue is canonicalised to graph insertion order before
+        the shuffle, so passing a set (hash-ordered) cannot leak
+        ``PYTHONHASHSEED`` into seeded results.
 
     Returns
     -------
@@ -39,7 +51,11 @@ def local_move(graph, partition, resolution=1.0, rng=None):
             community_strength.get(community, 0.0) + strengths[node]
         )
 
-    nodes = list(graph.nodes())
+    if nodes is None:
+        nodes = list(graph.nodes())
+    else:
+        keep = set(nodes)
+        nodes = [node for node in graph.nodes() if node in keep]
     rng.shuffle(nodes)
     queue = deque(nodes)
     queued = set(nodes)

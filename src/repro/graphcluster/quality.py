@@ -33,22 +33,38 @@ def modularity(graph, communities, resolution=1.0):
 
     with :math:`L_c` the intra-community weight, :math:`K_c` the total
     strength of the community and :math:`m` the total edge weight.
+
+    One pass over the adjacency lists: the incremental ``sel_cov``
+    path evaluates this after every local update (the degradation
+    check), so the per-community member-set scans the naive version
+    paid were a per-solve O(edges · |community|) tax.
     """
     m = graph.total_weight()
     if m <= 0:
         return 0.0
+    label = {}
+    for index, community in enumerate(communities):
+        for node in community:
+            label[node] = index
+    intra = [0.0] * len(communities)
+    strength = [0.0] * len(communities)
+    for node in graph.nodes():
+        node_label = label.get(node)
+        if node_label is None:  # node outside every community: ignored,
+            continue            # matching the old member-set walk
+        strength[node_label] += graph.strength(node)
+        for neighbour, weight in graph.neighbors(node).items():
+            if neighbour == node:
+                intra[node_label] += 2 * weight
+            elif label.get(neighbour) == node_label:
+                intra[node_label] += weight
     q = 0.0
-    for community in communities:
-        members = set(community)
-        intra = 0.0
-        strength = 0.0
-        for node in members:
-            strength += graph.strength(node)
-            for neighbour, weight in graph.neighbors(node).items():
-                if neighbour in members:
-                    intra += 2 * weight if neighbour == node else weight
-        intra /= 2.0  # every intra edge was counted from both endpoints
-        q += intra / m - resolution * (strength / (2 * m)) ** 2
+    for community_intra, community_strength in zip(intra, strength):
+        # Every intra edge was counted from both endpoints.
+        q += (
+            community_intra / (2.0 * m)
+            - resolution * (community_strength / (2 * m)) ** 2
+        )
     return q
 
 

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import adjusted_rand_index
 from repro.graphcluster import (
     Graph,
     bridges,
@@ -13,6 +14,7 @@ from repro.graphcluster import (
     cpm_quality,
     edge_betweenness,
     girvan_newman,
+    incremental_leiden,
     label_propagation,
     leiden,
     louvain,
@@ -22,6 +24,7 @@ from repro.graphcluster import (
     stoer_wagner,
     UnionFind,
 )
+from repro.graphcluster.louvain import local_move
 
 
 def planted_graph(n_communities=3, size=8, p_in=0.9, p_out=0.02, seed=0):
@@ -186,6 +189,145 @@ def test_edge_betweenness_matches_networkx():
     theirs = nx.edge_betweenness_centrality(G, normalized=False)
     for (u, v), value in theirs.items():
         assert ours[frozenset((u, v))] == pytest.approx(value)
+
+
+# -- incremental clustering --------------------------------------------------------
+
+
+def test_graph_strength_and_total_weight_track_mutations():
+    """The O(1) strength/total-weight bookkeeping must stay consistent
+    through every mutation path (add, overwrite, increment, removals)."""
+    g = Graph()
+    g.add_edge("a", "b", 2.0)
+    g.add_edge("a", "a", 1.5)       # self-loop
+    g.add_edge("a", "b", 0.5)       # overwrite shrinks the edge
+    g.increment_edge("b", "c", 3.0)
+    g.remove_edge("a", "a")
+    assert g.total_weight() == pytest.approx(3.5)
+    assert g.strength("a") == pytest.approx(0.5)
+    assert g.strength("b") == pytest.approx(3.5)
+    g.remove_node("b")
+    assert g.total_weight() == pytest.approx(0.0)
+    assert g.strength("a") == pytest.approx(0.0)
+    assert g.strength("c") == pytest.approx(0.0)
+    # Copies and aggregates carry consistent bookkeeping too.
+    h = Graph.from_edges([("x", "y", 1.0), ("y", "z", 2.0)])
+    agg = h.aggregate({"x": 0, "y": 0, "z": 1})
+    assert agg.total_weight() == pytest.approx(3.0)
+    assert agg.strength(0) == pytest.approx(4.0)  # self-loop counts twice
+    copy = h.copy()
+    copy.add_edge("x", "z", 5.0)
+    assert h.total_weight() == pytest.approx(3.0)
+    assert copy.total_weight() == pytest.approx(8.0)
+    sub = h.subgraph({"x", "y"})
+    assert sub.total_weight() == pytest.approx(1.0)
+    assert sub.strength("y") == pytest.approx(1.0)
+
+
+def test_local_move_bounded_queue_stays_local():
+    """With a restricted work queue only the queued region may move;
+    a far-away misassigned node stays put (full sweep fixes it)."""
+    g, nodes = planted_graph(n_communities=3, size=6, p_out=0.0, seed=1)
+    partition = {n: c for c, com in enumerate(nodes) for n in com}
+    # Misassign one node of community 0 and one of community 2.
+    wrong_near, wrong_far = nodes[0][0], nodes[2][0]
+    partition[wrong_near] = 1
+    partition[wrong_far] = 1
+    moved_partition, n_moved = local_move(
+        g, dict(partition), rng=np.random.default_rng(0),
+        nodes=[wrong_near],
+    )
+    assert n_moved
+    assert moved_partition[wrong_near] == partition[nodes[0][1]]
+    assert moved_partition[wrong_far] == 1  # never queued, never fixed
+    full_partition, _ = local_move(
+        g, dict(partition), rng=np.random.default_rng(0)
+    )
+    assert full_partition[wrong_far] == partition[nodes[2][1]]
+
+
+def test_leiden_seed_partition_warm_start_preserves_converged_result():
+    g, _ = planted_graph(seed=3)
+    full = leiden(g, random_state=0)
+    seed = partition_from_communities(full)
+    warm = leiden(g, random_state=1, seed_partition=seed)
+    assert sorted(map(sorted, warm)) == sorted(map(sorted, full))
+
+
+def test_incremental_leiden_after_insertion_matches_full():
+    g, nodes = planted_graph(seed=8)
+    new_node = "late_joiner"
+    previous = leiden(g, random_state=0)
+    for peer in nodes[1]:
+        g.add_edge(new_node, peer, 1.0)
+    for peer in nodes[0][:2]:
+        g.add_edge(new_node, peer, 0.2)
+    updated = incremental_leiden(
+        g, previous, [new_node], random_state=1
+    )
+    assert {len(c) for c in updated} == {8, 8, 9}
+    community = next(c for c in updated if new_node in c)
+    assert community == set(nodes[1]) | {new_node}
+    full = leiden(g, random_state=1)
+    assert adjusted_rand_index(updated, full) == 1.0
+
+
+def test_incremental_leiden_tolerance_falls_back_to_full():
+    """A degraded seed (every node a singleton) scores far below the
+    reference modularity, so the tolerance valve reruns full Leiden."""
+    g, _ = planted_graph(seed=9)
+    full = leiden(g, random_state=0)
+    reference = modularity(g, full)
+    bad_seed = [{node} for node in g.nodes()]
+    degraded = incremental_leiden(
+        g, bad_seed, [], random_state=0, tolerance=None,
+    )
+    assert modularity(g, degraded) < reference - 0.05
+    recovered = incremental_leiden(
+        g, bad_seed, [], random_state=0, tolerance=0.05,
+        reference_modularity=reference,
+    )
+    assert modularity(g, recovered) >= reference - 0.05
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_incremental_leiden_matches_full_property(seed):
+    """Property: k insertions absorbed incrementally (with the
+    modularity-tolerance valve, as MoRER applies it) stay within ARI
+    0.95 of a from-scratch Leiden run on seeded planted graphs.
+
+    The planted structure uses the stable regime (p_in=0.9,
+    p_out=0.02): on noisier graphs full Leiden itself flips between
+    near-tied partitions across seeds, which makes "matches full" an
+    ill-posed target for *any* updater.
+    """
+    rng = np.random.default_rng(seed)
+    g, _ = planted_graph(
+        n_communities=int(rng.integers(2, 5)), size=int(rng.integers(6, 11)),
+        p_in=0.9, p_out=0.02, seed=seed,
+    )
+    nodes = list(g.nodes())
+    k = int(rng.integers(1, 4))
+    removed = [nodes[int(i)] for i in rng.choice(len(nodes), k, replace=False)]
+    spare_edges = {}
+    for node in removed:
+        spare_edges[node] = dict(g.neighbors(node))
+        g.remove_node(node)
+    communities = leiden(g, random_state=seed)
+    reference = modularity(g, communities)
+    for node in removed:  # re-insert one at a time, update incrementally
+        g.add_node(node)
+        for peer, weight in spare_edges[node].items():
+            if peer in g and peer != node:
+                g.add_edge(node, peer, weight)
+        communities = incremental_leiden(
+            g, communities, [node], random_state=seed,
+            tolerance=0.02, reference_modularity=reference,
+        )
+        reference = modularity(g, communities)
+    full = leiden(g, random_state=seed)
+    assert adjusted_rand_index(communities, full) >= 0.95
 
 
 # -- components / mincut -----------------------------------------------------------

@@ -220,6 +220,38 @@ def test_signature_similarity_many_equivalence_property(seed):
             assert abs(many[j] - raw) < TOLERANCE, (name, j)
 
 
+def test_wd_matrix_mixed_sizes_uses_grid_batch_not_pair_fallback():
+    """The mixed-sample-size branch must run the merged-quantile-grid
+    batch (one block per size-group pair), never the old per-pair
+    integration, and stay pinned to the pair path below 1e-9."""
+    rng = np.random.default_rng(17)
+    sizes = [1, 2, 9, 30, 30, 47, 9]
+    signatures = [ProblemSignature(rng.random((s, 3))) for s in sizes]
+    test = make_distribution_test("wd")
+    pair_calls = []
+    original = test._signature_feature_similarities
+
+    def spy(sig_a, sig_b):
+        pair_calls.append((sig_a.n_samples, sig_b.n_samples))
+        return original(sig_a, sig_b)
+
+    test._signature_feature_similarities = spy
+    matrix = test.signature_similarity_matrix(signatures)
+    many = test.signature_similarity_many(signatures[0], signatures[1:])
+    assert pair_calls == []
+    for i in range(len(sizes)):
+        for j in range(i):
+            raw = test.signature_similarity(signatures[i], signatures[j])
+            assert abs(matrix[i, j] - raw) < TOLERANCE, (i, j)
+    for j, signature in enumerate(signatures[1:]):
+        raw = test.signature_similarity(signatures[0], signature)
+        assert abs(many[j] - raw) < TOLERANCE, j
+    # Grids are memoized per size pair: a second call adds no entries.
+    n_grids = len(test._grid_cache)
+    test.signature_similarity_matrix(signatures)
+    assert len(test._grid_cache) == n_grids
+
+
 @pytest.mark.parametrize("name", ["wd", "psi"])
 def test_wd_psi_matrix_rejects_feature_space_mismatch(name):
     test = make_distribution_test(name)

@@ -155,6 +155,65 @@ def test_index_query_empty():
     assert SketchIndex().query(_signature(0), 5) == []
 
 
+def test_index_auto_projections_engage_at_threshold():
+    """n_projections='auto' must switch the prefilter on exactly when
+    the entry count crosses auto_threshold, with width/oversample
+    derived from the entry count, and stay a good approximation.
+
+    Uses 32-bin sketches so the sketch dim (102) exceeds the derived
+    width — narrow sketches deliberately never enable (see below)."""
+    index = SketchIndex(n_bins=32, n_projections="auto", auto_threshold=64,
+                        random_state=3)
+    reference = SketchIndex(n_bins=32, n_projections=0)
+    signatures = [_signature(i) for i in range(150)]
+    for i, signature in enumerate(signatures[:63]):
+        index.add(i, signature)
+        reference.add(i, signature)
+    assert index._projection is None  # still exact below the threshold
+    for i, signature in enumerate(signatures[63:], start=63):
+        index.add(i, signature)
+        reference.add(i, signature)
+    assert index._projection is not None
+    width = index._projection.shape[1]
+    assert width == SketchIndex.auto_projection_width(64, index.dim)
+    assert 2 <= width <= index.dim
+    assert index.oversample >= 4
+    # Rows added after the switch are mirrored into the projected
+    # matrix; earlier rows were projected in bulk at the switch.
+    assert np.allclose(
+        index._projected[:len(index)],
+        index._matrix[:len(index)] @ index._projection,
+    )
+    probe = _signature(777, loc=0.5)
+    exact_top = set(reference.query(probe, 10))
+    approx_top = set(index.query(probe, 10))
+    assert len(exact_top & approx_top) >= 6
+    # Clearing resets the auto state: a refilled small index is exact.
+    index.clear()
+    index.add(0, signatures[0])
+    assert index._projection is None
+    # Narrow sketches (derived width >= dim) never enable: a square
+    # projection only adds work and distance distortion.
+    narrow = SketchIndex(n_bins=8, n_projections="auto", auto_threshold=64)
+    for i, signature in enumerate(signatures):
+        narrow.add(i, signature)
+    assert narrow.dim == 30  # 3 features * (8 bins + 2 moments)
+    assert SketchIndex.auto_projection_width(150, 30) == 30
+    assert narrow._projection is None
+
+
+def test_index_auto_projection_width_derivation():
+    assert SketchIndex.auto_projection_width(10_000, 1_000) == max(
+        32, int(8 * np.log2(10_000))
+    )
+    # Capped at the sketch width for narrow sketches.
+    assert SketchIndex.auto_projection_width(10_000, 20) == 20
+    with pytest.raises(ValueError, match="n_projections"):
+        SketchIndex(n_projections="many")
+    with pytest.raises(ValueError, match="auto_threshold"):
+        SketchIndex(auto_threshold=0)
+
+
 def test_index_projection_prefilter():
     """The random-projection path must stay a good approximation of the
     full-width scan (JL: distances are preserved in expectation)."""
@@ -358,6 +417,75 @@ def test_repository_load_rebuilds_sketch_index(tmp_path):
         e.cluster_id for e, _ in exact
     ]
     assert len(loaded._sketch_index) == len(loaded)
+
+
+def test_repository_save_load_persists_sketch_matrix(tmp_path):
+    """save() writes the sketch matrix into vectors.npz and load()
+    restores it, so cold-start indexed search skips the lazy rebuild
+    (no sketch is re-derived from a signature)."""
+    import repro.core.sketch_index as sketch_module
+
+    problems = [
+        make_problem(f"S{i}", f"T{i}", shift=0.1 * (i % 4), seed=i)
+        for i in range(10)
+    ]
+    repo = ModelRepository("ks", use_index=True)
+    for problem in problems:
+        model = RandomForestClassifier(n_estimators=3, random_state=0)
+        model.fit(problem.features, problem.labels)
+        repo.add_entry(
+            {problem.key}, model, problem.features, problem.labels
+        )
+    probe = make_problem("X", "Y", seed=5)
+    expected = repo.search(probe, top_k=4)  # also syncs the index
+    repo.save(tmp_path / "store")
+    arrays = np.load(tmp_path / "store" / "vectors.npz")
+    assert arrays["sketch_rows"].shape == (10, repo._sketch_index.dim)
+    assert set(arrays["sketch_ids"]) == set(repo.entries)
+
+    loaded = ModelRepository.load(tmp_path / "store")
+    assert len(loaded._sketch_index) == 10
+    assert not loaded._index_pending
+    calls = []
+    original = sketch_module.sketch_vector
+
+    def spy(signature, n_bins=16):
+        calls.append(signature)
+        return original(signature, n_bins)
+
+    sketch_module.sketch_vector = spy
+    try:
+        # The probe's own sketch is the only one computed.
+        got = loaded.search(probe, top_k=4)
+    finally:
+        sketch_module.sketch_vector = original
+    assert len(calls) == 1
+    assert [e.cluster_id for e, _ in got] == [
+        e.cluster_id for e, _ in expected
+    ]
+    for (_, sim_a), (_, sim_b) in zip(expected, got):
+        assert abs(sim_a - sim_b) < TOLERANCE
+
+
+def test_sketch_index_export_bulk_load_round_trip():
+    index = SketchIndex(n_bins=4)
+    signatures = {i: _signature(i) for i in range(8)}
+    for i, signature in signatures.items():
+        index.add(i, signature)
+    index.discard(3)
+    ids, rows = index.export_rows()
+    restored = SketchIndex(n_bins=4)
+    restored.bulk_load(ids, rows)
+    assert restored.ids() == index.ids()
+    probe = _signature(99, loc=0.5)
+    assert restored.query(probe, 5) == index.query(probe, 5)
+    with pytest.raises(ValueError, match="one sketch row per id"):
+        restored.bulk_load([1, 2], rows)
+    with pytest.raises(ValueError, match="unique"):
+        restored.bulk_load([1] * len(ids), rows)
+    # Empty payload resets to a fresh index.
+    restored.bulk_load([], np.empty((0, 0)))
+    assert len(restored) == 0 and restored.dim is None
 
 
 def test_repository_remove_entry_evicts_sketch_row():
