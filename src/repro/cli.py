@@ -38,6 +38,14 @@ def build_parser():
         "--no-lm", action="store_true",
         help="skip the slow language-model baselines where applicable",
     )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help=(
+            "serve sel_cov streams through MoRER.solve_batch in chunks "
+            "of N problems (one graph integration + recluster per "
+            "chunk); applies to fig7"
+        ),
+    )
     return parser
 
 
@@ -63,7 +71,9 @@ def main(argv=None):
     if args.experiment == "fig6":
         return experiments.fig6.main(scale=args.scale)
     if args.experiment == "fig7":
-        return experiments.fig7.main(scale=args.scale)
+        return experiments.fig7.main(
+            scale=args.scale, batch_size=args.batch_size
+        )
     raise AssertionError("unreachable")
 
 

@@ -19,10 +19,17 @@ from .maintenance import (
     repository_health,
     silhouette_scores,
 )
-from .morer import CountingOracle, MoRER
+from .morer import CountingOracle, MoRER, PERSISTENCE_FORMAT
+from .partition_state import PartitionState
 from .problem import ERProblem
 from .repository import ClusterEntry, ModelRepository
-from .selection import SolveResult, pool_problems, select_base, select_cov
+from .selection import (
+    SolveResult,
+    decide_cov,
+    pool_problems,
+    select_base,
+    select_cov,
+)
 from .signatures import (
     ProblemSignature,
     SignatureStore,
@@ -41,9 +48,12 @@ __all__ = [
     "ModelRepository",
     "ClusterEntry",
     "ERProblemGraph",
+    "PartitionState",
+    "PERSISTENCE_FORMAT",
     "SolveResult",
     "select_base",
     "select_cov",
+    "decide_cov",
     "pool_problems",
     "KolmogorovSmirnovTest",
     "WassersteinTest",

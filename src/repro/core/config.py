@@ -105,16 +105,20 @@ class MoRERConfig:
         Rerank width for indexed search; 0 means the per-query default
         ``max(8 * top_k, 48)``.
     incremental_clustering : {"auto", True, False}
-        Warm-start ``sel_cov`` reclustering from the cached partition
-        (bounded local moves around the inserted problem) instead of a
-        full Leiden run per solve. ``"auto"`` (the default) engages
+        Warm-start ``sel_cov`` reclustering by replaying the graph's
+        mutation journal into the cached
+        :class:`~repro.core.partition_state.PartitionState` (one
+        bounded local move over every inserted/removed region — also
+        the path that lets :meth:`MoRER.solve_batch` recluster once
+        per batch and removals survive without a full run) instead of
+        a full Leiden run per solve. ``"auto"`` (the default) engages
         only once the graph holds ``index_threshold`` problems, so
         paper-scale reproductions keep byte-identical clusterings.
         Only effective with ``clustering_algorithm="leiden"``.
     recluster_tolerance : float
         Modularity head-room for incremental reclustering: when a
-        warm-started partition scores more than this below the last
-        full run, a full Leiden run is redone.
+        replayed partition's delta-tracked modularity falls more than
+        this below the last full run, a full Leiden run is redone.
     full_recluster_every : int
         Force a full recluster after this many incremental insertions
         (drift bound that modularity alone cannot provide).

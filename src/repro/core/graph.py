@@ -29,6 +29,21 @@ Two mechanisms keep *insertion* sublinear in graph size at scale:
 
 Both are off below the threshold (and via ``use_index=False``), where
 the exact all-vertices behaviour is preserved byte for byte.
+
+Mutation journal
+----------------
+Every :meth:`add_problem` / :meth:`add_problems` / :meth:`remove_problem`
+appends a :class:`JournalEntry` recording the operation *and* the edges
+it created or destroyed. A consumer caching a partition (MoRER's
+:class:`~repro.core.partition_state.PartitionState`) remembers the
+:attr:`version` it last synced at (its *cursor*) and later *replays*
+``journal_since(cursor)`` — batch-folding inserts and removals into its
+partition and modularity aggregates without touching the graph history.
+Removals therefore no longer invalidate warm starts: the replay drops
+the vertex from the seed and queues its recorded neighbours. Consumed
+entries are reclaimed with :meth:`trim_journal`; :meth:`build` advances
+the version without journaling (bulk construction is an epoch boundary,
+``can_replay`` is false across it).
 """
 
 from __future__ import annotations
@@ -36,18 +51,69 @@ from __future__ import annotations
 import math
 import weakref
 
+import numpy as np
+
 from ..graphcluster import CLUSTERING_ALGORITHMS, Graph, incremental_leiden
 from .config import DEFAULT_INDEX_THRESHOLD, check_index_settings
 from .distribution import make_distribution_test
-from .signatures import SignatureStore, pairwise_similarities, supports_signatures
+from .problem import ERProblem
+from .signatures import (
+    ProblemSignature,
+    SignatureStore,
+    pairwise_similarities,
+    search_similarities,
+    supports_signatures,
+)
 from .sketch_index import SketchIndex
 
-__all__ = ["ERProblemGraph"]
+__all__ = ["ERProblemGraph", "JournalEntry"]
 
 
 def _pair_key(key_a, key_b):
     """Order-independent cache key for a pair of problem keys."""
     return (key_a, key_b) if key_a <= key_b else (key_b, key_a)
+
+
+class JournalEntry:
+    """One graph mutation: the operation, the vertex, and its edges.
+
+    ``edges`` maps neighbour key -> weight — the edges *created* by an
+    insert or *destroyed* by a removal — which makes the journal
+    self-contained: replaying it needs no access to graph state at the
+    time of the mutation (the graph may have changed arbitrarily
+    since).
+    """
+
+    __slots__ = ("op", "key", "edges")
+
+    INSERT = "insert"
+    REMOVE = "remove"
+
+    def __init__(self, op, key, edges):
+        self.op = op
+        self.key = key
+        self.edges = edges
+
+    def to_json(self):
+        """JSON-safe form for persistence."""
+        return {
+            "op": self.op,
+            "key": list(self.key),
+            "edges": [[list(k), w] for k, w in self.edges.items()],
+        }
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(
+            data["op"], tuple(data["key"]),
+            {tuple(k): float(w) for k, w in data["edges"]},
+        )
+
+    def __repr__(self):
+        return (
+            f"JournalEntry({self.op!r}, {self.key!r}, "
+            f"{len(self.edges)} edges)"
+        )
 
 
 class ERProblemGraph:
@@ -108,9 +174,16 @@ class ERProblemGraph:
             test, "symmetric", False
         )
         self.graph = Graph()
-        #: Monotonic mutation counter (bumped by add/remove); consumers
-        #: caching a partition use it to detect out-of-band changes.
-        self.version = 0
+        # Mutation journal: entries cover versions
+        # (_journal_offset, _journal_offset + len(_journal)]; bulk
+        # construction advances the offset without entries.
+        self._journal = []
+        self._journal_offset = 0
+        #: Runtime instrumentation (never persisted): how many pairwise
+        #: test evaluations ran and how many sketch rows were derived
+        #: from signatures — the persistence suite asserts a restored
+        #: graph's first solve recomputes nothing it saved.
+        self.stats = {"pair_evals": 0, "sketch_rows_built": 0}
         self._problems = {}
         self._signatures = SignatureStore(signature_cache_size)
         self._pair_cache = {}
@@ -137,6 +210,9 @@ class ERProblemGraph:
         if not instance.use_signatures or len(problems) < 2:
             for problem in problems:
                 instance.add_problem(problem)
+            # Bulk construction is an epoch boundary: fold the entries
+            # into the offset so no consumer replays the O(n²) build.
+            instance.trim_journal(instance.version)
             return instance
         keys = []
         signatures = []
@@ -146,7 +222,7 @@ class ERProblemGraph:
                 raise ValueError(f"ER problem {key} already in the graph")
             instance.graph.add_node(key)
             instance._problems[key] = problem
-            instance.version += 1
+            instance._journal_offset += 1
             keys.append(key)
             instance._validate_pair_cache(key, problem.features)
             instance._index_pending.add(key)
@@ -159,6 +235,7 @@ class ERProblemGraph:
         matrix = None
         if getattr(instance.test, "symmetric", False):
             matrix = pairwise_similarities(signatures, instance.test)
+        instance.stats["pair_evals"] += len(keys) * (len(keys) - 1) // 2
         for i, key_i in enumerate(keys):
             for j in range(i):
                 if matrix is not None:
@@ -181,7 +258,8 @@ class ERProblemGraph:
         §4.5 integration. Past the threshold the sketch index prefilters
         ``n_candidates`` nearest vertices and only those are compared
         (and eligible for edges), keeping insertion cost bounded as the
-        graph grows.
+        graph grows. The insertion (and the edges it created) is
+        appended to the mutation journal.
         """
         key = problem.key
         if key in self._problems:
@@ -194,6 +272,7 @@ class ERProblemGraph:
         others = self._problems
         if signature is not None and self._prefilter_active():
             others = self._candidate_problems(signature)
+        edges = {}
         for other_key, other in others.items():
             if signature is not None:
                 similarity = None
@@ -206,17 +285,103 @@ class ERProblemGraph:
                     similarity = self.test.signature_similarity(
                         signature, other_signature
                     )
+                    self.stats["pair_evals"] += 1
                     if self._cache_pairs:
                         self._remember_pair(key, other_key, similarity)
             else:
                 similarity = self.test.problem_similarity(
                     problem.features, other.features
                 )
+                self.stats["pair_evals"] += 1
             if similarity > self.min_similarity:
                 self.graph.add_edge(key, other_key, similarity)
+                edges[other_key] = float(similarity)
         self._problems[key] = problem
-        self.version += 1
+        self._journal.append(JournalEntry(JournalEntry.INSERT, key, edges))
         if self.use_signatures:
+            self._index_pending.add(key)
+
+    def add_problems(self, problems):
+        """Batch-insert several problems with one prefiltered edge pass.
+
+        The batched form of :meth:`add_problem` behind
+        :meth:`MoRER.solve_batch`: signatures are computed once for the
+        whole batch, the sketch index is synced once, every member's
+        candidate set is evaluated through the test's one-vs-many
+        kernel (:func:`~repro.core.signatures.search_similarities`
+        instead of one Python-level call per pair), and batch members
+        are always compared against *each other* exactly (a batch is
+        small; sequential insertion would have routed later members
+        against earlier ones through the index anyway). One journal
+        entry per member is appended, so partition replays see the
+        batch as the equivalent insert sequence.
+        """
+        problems = list(problems)
+        if not self.use_signatures or len(problems) < 2:
+            for problem in problems:
+                self.add_problem(problem)
+            return
+        keys = []
+        batch_rows = {}
+        for problem in problems:
+            key = problem.key
+            if key in self._problems or key in batch_rows:
+                raise ValueError(f"ER problem {key} already in the graph")
+            batch_rows[key] = len(keys)
+            keys.append(key)
+        existing = list(self._problems)
+        prefilter = self._prefilter_active()
+        if prefilter:
+            self._sync_sketch_index()
+        signatures = []
+        for problem, key in zip(problems, keys):
+            self._validate_pair_cache(key, problem.features)
+            signatures.append(
+                self._signatures.signature(key, problem.features)
+            )
+        n_candidates = self._resolve_candidates() if prefilter else 0
+        for i, (problem, key) in enumerate(zip(problems, keys)):
+            signature = signatures[i]
+            if prefilter:
+                candidates = self._sketch_index.query(signature, n_candidates)
+            else:
+                candidates = existing
+            candidates = list(candidates) + keys[:i]
+            self.graph.add_node(key)
+            edges = {}
+            uncached, uncached_signatures = [], []
+            for other_key in candidates:
+                similarity = None
+                if self._cache_pairs:
+                    similarity = self._pair_cache.get(_pair_key(key, other_key))
+                if similarity is None:
+                    uncached.append(other_key)
+                    row = batch_rows.get(other_key)
+                    uncached_signatures.append(
+                        signatures[row] if row is not None
+                        else self._signatures.signature(
+                            other_key, self._problems[other_key].features
+                        )
+                    )
+                elif similarity > self.min_similarity:
+                    self.graph.add_edge(key, other_key, similarity)
+                    edges[other_key] = float(similarity)
+            if uncached:
+                similarities = search_similarities(
+                    self.test, signature, uncached_signatures
+                )
+                self.stats["pair_evals"] += len(uncached)
+                for other_key, similarity in zip(uncached, similarities):
+                    similarity = float(similarity)
+                    if self._cache_pairs:
+                        self._remember_pair(key, other_key, similarity)
+                    if similarity > self.min_similarity:
+                        self.graph.add_edge(key, other_key, similarity)
+                        edges[other_key] = similarity
+            self._problems[key] = problem
+            self._journal.append(
+                JournalEntry(JournalEntry.INSERT, key, edges)
+            )
             self._index_pending.add(key)
 
     def remove_problem(self, key):
@@ -224,14 +389,50 @@ class ERProblemGraph:
 
         The problem's signature and memoized pair similarities are kept
         so re-inserting the same problem (``sel_cov`` churn) is free.
+        The removal — with the destroyed edges — is journaled, so a
+        cached partition *survives*: replay drops the vertex from the
+        seed and queues its recorded neighbours instead of forcing a
+        full recluster.
         """
         if key not in self._problems:
             raise KeyError(f"no ER problem {key} in the graph")
+        edges = {
+            other: float(weight)
+            for other, weight in self.graph.neighbors(key).items()
+            if other != key
+        }
         self.graph.remove_node(key)
         del self._problems[key]
-        self.version += 1
+        self._journal.append(JournalEntry(JournalEntry.REMOVE, key, edges))
         self._sketch_index.discard(key)
         self._index_pending.discard(key)
+
+    # -- mutation journal --------------------------------------------------
+
+    @property
+    def version(self):
+        """Monotonic mutation count (inserts + removals ever applied)."""
+        return self._journal_offset + len(self._journal)
+
+    def can_replay(self, cursor):
+        """Whether every mutation after ``cursor`` is still journaled."""
+        return self._journal_offset <= cursor <= self.version
+
+    def journal_since(self, cursor):
+        """Entries covering versions ``(cursor, version]``, oldest
+        first; ``None`` when ``cursor`` predates the retained journal
+        (or a :meth:`build` epoch boundary) and replay is impossible."""
+        if not self.can_replay(cursor):
+            return None
+        return self._journal[cursor - self._journal_offset:]
+
+    def trim_journal(self, cursor):
+        """Reclaim entries at versions ``<= cursor`` (consumed by every
+        interested partition cache)."""
+        cut = min(cursor, self.version) - self._journal_offset
+        if cut > 0:
+            del self._journal[:cut]
+            self._journal_offset += cut
 
     # -- sketch prefilter --------------------------------------------------
 
@@ -262,6 +463,7 @@ class ERProblemGraph:
                 self._sketch_index.add(
                     key, self._signatures.signature(key, problem.features)
                 )
+                self.stats["sketch_rows_built"] += 1
             self._index_pending.discard(key)
 
     # -- pair cache --------------------------------------------------------
@@ -291,6 +493,7 @@ class ERProblemGraph:
             similarity = self.test.problem_similarity(
                 problem_a.features, problem_b.features
             )
+        self.stats["pair_evals"] += 1
         return similarity
 
     def _validate_pair_cache(self, key, features):
@@ -328,6 +531,167 @@ class ERProblemGraph:
             partners = self._pairs_by_key.get(partner)
             if partners:
                 partners.discard(key)
+
+    # -- persistence -------------------------------------------------------
+
+    def export_state(self):
+        """``(meta, arrays)`` snapshot of the whole graph-side state.
+
+        ``meta`` is JSON-safe (problem identities, pair ids, journal,
+        settings); ``arrays`` maps names to ndarrays (features, labels,
+        per-problem signature statistics, edges, the memoized pair
+        cache and — when the prefilter is in play — the sketch matrix).
+        :meth:`restore_state` rebuilds a graph whose first insertion
+        recomputes none of it. Pairs involving removed problems are not
+        persisted (their witness matrices don't survive the process
+        anyway).
+        """
+        keys = list(self._problems)
+        rows = {key: i for i, key in enumerate(keys)}
+        meta = {
+            "min_similarity": self.min_similarity,
+            "use_signatures": self.use_signatures,
+            "use_index": self.use_index,
+            "index_threshold": self.index_threshold,
+            "n_candidates": self.n_candidates,
+            "sketch_bins": self._sketch_index.n_bins,
+            "version": self.version,
+            "journal": [entry.to_json() for entry in self._journal],
+            "problems": [],
+        }
+        arrays = {}
+        for i, (key, problem) in enumerate(self._problems.items()):
+            meta["problems"].append({
+                "source_a": problem.source_a,
+                "source_b": problem.source_b,
+                "feature_names": problem.feature_names,
+                "pair_ids": (
+                    None if problem.pair_ids is None
+                    else [list(pair) for pair in problem.pair_ids]
+                ),
+            })
+            arrays[f"features_{i}"] = problem.features
+            if problem.labels is not None:
+                arrays[f"labels_{i}"] = problem.labels
+            if self.use_signatures:
+                # Read through the store without inserting: saving a
+                # graph larger than the LRU capacity must not thrash
+                # live entries (evicted signatures are rebuilt locally
+                # for the snapshot only).
+                signature = self._signatures.get(key)
+                if signature is None or signature.features is not (
+                    problem.features
+                ):
+                    signature = ProblemSignature(problem.features)
+                arrays[f"sig_sorted_{i}"] = signature.sorted_columns
+                arrays[f"sig_cdf_{i}"] = signature.self_cdf
+        edge_rows, edge_weights = [], []
+        for u, v, weight in self.graph.edges():
+            edge_rows.append((rows[u], rows[v]))
+            edge_weights.append(weight)
+        arrays["edge_rows"] = np.asarray(
+            edge_rows, dtype=np.int64
+        ).reshape(-1, 2)
+        arrays["edge_weights"] = np.asarray(edge_weights, dtype=float)
+        pair_rows, pair_values = [], []
+        for (key_a, key_b), value in self._pair_cache.items():
+            row_a = rows.get(key_a)
+            row_b = rows.get(key_b)
+            if row_a is not None and row_b is not None:
+                pair_rows.append((row_a, row_b))
+                pair_values.append(value)
+        arrays["pair_rows"] = np.asarray(
+            pair_rows, dtype=np.int64
+        ).reshape(-1, 2)
+        arrays["pair_values"] = np.asarray(pair_values, dtype=float)
+        if self._prefilter_active():
+            self._sync_sketch_index()
+            ids, sketch_rows = self._sketch_index.export_rows()
+            arrays["sketch_order"] = np.asarray(
+                [rows[key] for key in ids], dtype=np.int64
+            )
+            arrays["sketch_rows"] = sketch_rows
+        return meta, arrays
+
+    @classmethod
+    def restore_state(cls, meta, arrays, test, **kwargs):
+        """Rebuild a graph from an :meth:`export_state` snapshot.
+
+        ``test`` must be (equivalent to) the distribution test the
+        snapshot was taken under. Signatures, edges, the pair cache and
+        the sketch matrix come back preloaded: the restored graph's
+        signature store reports zero :attr:`SignatureStore.builds` and
+        the first prefiltered insertion derives no sketch row.
+        """
+        instance = cls(
+            test, meta["min_similarity"],
+            use_signatures=meta["use_signatures"],
+            use_index=meta["use_index"],
+            index_threshold=meta["index_threshold"],
+            n_candidates=meta["n_candidates"],
+            sketch_bins=meta["sketch_bins"],
+            **kwargs,
+        )
+        # The zero-rebuild guarantee needs every seeded signature to
+        # actually fit: grow the LRU to the restored problem count.
+        instance._signatures.max_size = max(
+            instance._signatures.max_size, len(meta["problems"])
+        )
+        keys = []
+        for i, spec in enumerate(meta["problems"]):
+            labels = arrays.get(f"labels_{i}")
+            pair_ids = spec["pair_ids"]
+            problem = ERProblem(
+                spec["source_a"], spec["source_b"], arrays[f"features_{i}"],
+                labels,
+                None if pair_ids is None else [tuple(p) for p in pair_ids],
+                spec["feature_names"],
+            )
+            key = problem.key
+            keys.append(key)
+            instance.graph.add_node(key)
+            instance._problems[key] = problem
+            if instance.use_signatures:
+                signature = ProblemSignature(problem.features)
+                sorted_columns = arrays.get(f"sig_sorted_{i}")
+                if sorted_columns is not None:
+                    signature._sorted_columns = np.asarray(sorted_columns)
+                self_cdf = arrays.get(f"sig_cdf_{i}")
+                if self_cdf is not None:
+                    signature._self_cdf = np.asarray(self_cdf)
+                instance._signatures.put(key, signature)
+            if instance._cache_pairs:
+                instance._pair_witness[key] = weakref.ref(
+                    problem.features,
+                    lambda ref, key=key: instance._drop_dead_witness(
+                        key, ref
+                    ),
+                )
+        for (row_u, row_v), weight in zip(
+            arrays["edge_rows"], arrays["edge_weights"]
+        ):
+            instance.graph.add_edge(
+                keys[int(row_u)], keys[int(row_v)], float(weight)
+            )
+        if instance._cache_pairs:
+            for (row_a, row_b), value in zip(
+                arrays["pair_rows"], arrays["pair_values"]
+            ):
+                instance._remember_pair(
+                    keys[int(row_a)], keys[int(row_b)], float(value)
+                )
+        if "sketch_rows" in arrays:
+            instance._sketch_index.bulk_load(
+                [keys[int(row)] for row in arrays["sketch_order"]],
+                arrays["sketch_rows"],
+            )
+        elif instance.use_signatures:
+            instance._index_pending.update(keys)
+        instance._journal = [
+            JournalEntry.from_json(entry) for entry in meta["journal"]
+        ]
+        instance._journal_offset = meta["version"] - len(instance._journal)
+        return instance
 
     # -- access --------------------------------------------------------------
 

@@ -11,36 +11,75 @@ configured threshold, see :mod:`repro.core.sketch_index`) or
 which invalidates both the retrained entry's cached signature and its
 sketch row).
 
-``sel_cov`` at scale: every solve integrates the problem into
-:math:`G_P` and reclusters, so MoRER caches the last partition and —
-once ``config.incremental_clustering`` engages — updates it through
-:func:`~repro.graphcluster.incremental_leiden` (bounded local moves
-around the inserted vertex) instead of re-running full Leiden. The
-cache is invalidated coherently: a modularity drop beyond
-``recluster_tolerance``, ``full_recluster_every`` insertions, Eq. 14
-retraining, or any out-of-band graph mutation (detected through the
-graph's mutation counter) forces the next solve back onto a full run.
+``sel_cov`` as a *session* over a mutation journal
+--------------------------------------------------
+Probes arrive — and leave — as a stream, so the warm state is organised
+around :class:`~repro.core.graph.ERProblemGraph`'s mutation journal and
+one :class:`~repro.core.partition_state.PartitionState` (partition,
+delta-tracked per-community :math:`(L_c, K_c)` modularity aggregates,
+journal cursor). Once ``config.incremental_clustering`` engages, a
+solve *replays* the journal past the cursor: inserted probes join the
+seed as singletons, removed problems (repository maintenance, even
+out-of-band ``remove_problem`` calls) drop out of the seed with their
+recorded neighbours queued, and one bounded local move re-examines the
+perturbed region — regardless of whether one probe or a whole
+:meth:`MoRER.solve_batch` batch landed since. The degradation check
+reads the aggregates (O(moved region)); no full
+:func:`~repro.graphcluster.modularity` pass appears on the warm path.
+A full Leiden run happens only on a modularity drop beyond
+``recluster_tolerance``, every ``full_recluster_every`` insertions,
+after Eq. 14 retraining, or when the journal cannot reach back to the
+cursor.
+
+Batching and persistence
+------------------------
+:meth:`MoRER.solve_batch` integrates a probe batch with one
+sketch-prefiltered edge pass and one recluster, then decides reuse vs
+retrain per probe; integration time is attributed per-probe through
+``SolveResult.overhead_seconds`` (never double-counted against
+:meth:`overhead_seconds`). :meth:`MoRER.save` / :meth:`MoRER.load`
+persist the whole session — config, repository, graph (problems,
+edges, pair cache, signature statistics, sketch matrix, pending
+journal), partition state and RNG stream — versioned under
+:data:`PERSISTENCE_FORMAT`, so a warm restart answers its first
+``sel_cov`` probe with zero recomputation (see
+``tests/test_morer_persistence.py`` for the counter-backed guarantee).
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import replace
+from pathlib import Path
 
 import numpy as np
 
 from ..baselines.almser import AlmserActiveLearner
 from ..baselines.bootstrap import BootstrapActiveLearner
-from ..graphcluster import modularity
+from ..graphcluster import communities_from_partition, partition_from_communities
 from ..ml.utils import check_random_state
 from .budget import distribute_budget
 from .config import MoRERConfig, make_classifier
 from .distribution import make_distribution_test
 from .graph import ERProblemGraph
+from .partition_state import PartitionState
 from .repository import ModelRepository
-from .selection import SolveResult, pool_problems, select_base, select_cov
+from .selection import (
+    SolveResult,
+    decide_cov,
+    pool_problems,
+    select_base,
+    select_cov,
+)
 
-__all__ = ["MoRER", "CountingOracle"]
+__all__ = ["MoRER", "CountingOracle", "PERSISTENCE_FORMAT"]
+
+#: On-disk layout version written by :meth:`MoRER.save`. Bump on any
+#: incompatible change to ``morer.json`` / ``graph.npz`` / the
+#: repository directory; :meth:`MoRER.load` refuses unknown versions
+#: loudly rather than deserialising garbage.
+PERSISTENCE_FORMAT = 1
 
 
 class CountingOracle:
@@ -87,15 +126,21 @@ class MoRER:
         self.repository = None
         self.clusters_ = None
         self.trained_keys = set()
-        # Incremental sel_cov state: the cached partition, the graph
-        # version it was computed at, the keys inserted since, the last
-        # full run's modularity (degradation reference) and how many
-        # insertions the current warm-start streak has absorbed.
-        self._cluster_cache = None
-        self._cluster_version = -1
-        self._pending_keys = set()
-        self._full_modularity = None
-        self._inserts_since_full = 0
+        # Incremental sel_cov state: one PartitionState carrying the
+        # warm partition, its delta-tracked modularity aggregates and
+        # the journal cursor it reflects. None = the next solve
+        # reclusters fully.
+        self._partition = None
+        #: Runtime instrumentation: how often the solve path ran a full
+        #: Leiden pass vs accepted a journal replay, how many O(edges)
+        #: quality passes were paid (aggregate rebuilds at full runs —
+        #: the warm path pays none), and how many batches were served.
+        self.counters = {
+            "full_reclusters": 0,
+            "warm_reclusters": 0,
+            "full_quality_passes": 0,
+            "batch_solves": 0,
+        }
         self.timings = {
             "analysis": 0.0,      # pairwise distribution tests
             "clustering": 0.0,    # Leiden runs
@@ -278,11 +323,96 @@ class MoRER:
         if strategy == "base":
             started = time.perf_counter()
             result = select_base(self, problem)
-            self.timings["search"] += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.timings["search"] += elapsed
+            result.overhead_seconds = elapsed
             return result
         if strategy == "cov":
-            return select_cov(self, problem, oracle)
+            before = self.overhead_seconds()
+            result = select_cov(self, problem, oracle)
+            result.overhead_seconds = self.overhead_seconds() - before
+            return result
         raise ValueError(f"unknown selection strategy {strategy!r}")
+
+    def solve_batch(self, problems, oracle=None, strategy=None):
+        """Solve a stream of problems with one integration + recluster.
+
+        The batched ``sel_cov`` entry point: all absent probes are
+        inserted through one sketch-prefiltered edge pass
+        (:meth:`ERProblemGraph.add_problems`), the partition is updated
+        by one journal replay (one bounded local move over every
+        inserted vertex), and then each probe gets its reuse/retrain
+        decision in order against the shared clustering — so the
+        per-solve integration overhead is amortised across the batch.
+        If a probe's decision retrains a model (which invalidates the
+        partition), the next probe reclusters first, mirroring the
+        sequential coherence rule.
+
+        Timing accounting stays consistent with :meth:`solve`: the
+        shared integration/recluster time lands once in
+        :attr:`timings` (so :meth:`overhead_seconds` never
+        double-counts) and is attributed per-probe through each
+        result's ``overhead_seconds`` (an equal share of the batch
+        cost, plus any recluster that probe itself forced).
+
+        Parameters
+        ----------
+        problems : iterable of ERProblem
+            The probe batch; probes already in the graph are decided
+            against the refreshed clustering without re-insertion.
+        oracle, strategy
+            As in :meth:`solve`. ``strategy="base"`` has no batch
+            economics and simply loops :meth:`solve`.
+
+        Returns
+        -------
+        list of SolveResult
+            One per probe, in input order.
+        """
+        problems = list(problems)
+        if self.repository is None:
+            raise RuntimeError("MoRER is not fitted; call fit() first")
+        if not problems:
+            return []
+        strategy = strategy or self.config.selection
+        if strategy == "base":
+            return [self.solve(p, strategy="base") for p in problems]
+        if strategy != "cov":
+            raise ValueError(f"unknown selection strategy {strategy!r}")
+        before = self.overhead_seconds()
+        seen = set()
+        fresh = []
+        for problem in problems:
+            key = problem.key
+            if key not in self.problem_graph and key not in seen:
+                fresh.append(problem)
+                seen.add(key)
+        if fresh:
+            self._timed_add_problems(fresh)
+        clusters = self._timed_cluster()
+        shared = (self.overhead_seconds() - before) / len(problems)
+        results = []
+        last = self.overhead_seconds()
+        for problem in problems:
+            if results and results[-1].retrained:
+                # The previous probe's Eq. 14 retrain invalidated the
+                # warm partition: the remaining probes decide against a
+                # fresh clustering, mirroring the sequential coherence
+                # rule. (A new-model probe changes only the repository,
+                # not the graph, so no recluster is owed.) The
+                # recluster is charged to the probe that forced it, not
+                # the one that merely comes next.
+                clusters = self._timed_cluster()
+                now = self.overhead_seconds()
+                results[-1].overhead_seconds += now - last
+                last = now
+            result = decide_cov(self, problem, oracle, clusters)
+            now = self.overhead_seconds()
+            result.overhead_seconds = shared + (now - last)
+            last = now
+            results.append(result)
+        self.counters["batch_solves"] += 1
+        return results
 
     def predict(self, problem, **kwargs):
         """Shortcut for ``solve(problem).predictions``."""
@@ -294,16 +424,23 @@ class MoRER:
         started = time.perf_counter()
         self.problem_graph.add_problem(problem)
         self.timings["analysis"] += time.perf_counter() - started
-        if self._track_cluster_cache():
-            self._pending_keys.add(problem.key)
+
+    def _timed_add_problems(self, problems):
+        started = time.perf_counter()
+        self.problem_graph.add_problems(problems)
+        self.timings["analysis"] += time.perf_counter() - started
 
     def _invalidate_cluster_cache(self):
-        """Forget the cached partition; the next solve reclusters fully."""
-        self._cluster_cache = None
-        self._cluster_version = -1
-        self._pending_keys = set()
-        self._full_modularity = None
-        self._inserts_since_full = 0
+        """Forget the warm partition; the next solve reclusters fully."""
+        self._partition = None
+
+    @property
+    def _inserts_since_full(self):
+        """Insertions absorbed by the current warm streak (0 when no
+        partition state is live) — benchmark/diagnostic accessor."""
+        return 0 if self._partition is None else (
+            self._partition.inserts_since_full
+        )
 
     def _track_cluster_cache(self):
         """Whether incremental reclustering is configured at all."""
@@ -313,18 +450,21 @@ class MoRER:
         )
 
     def _incremental_clustering_active(self):
-        """Whether the *next* recluster may warm-start from the cache."""
+        """Whether the *next* recluster may warm-start by replaying the
+        journal into the partition state."""
         if not self._track_cluster_cache():
             return False
-        if self._cluster_cache is None or self._full_modularity is None:
+        if self._partition is None:
             return False
-        if self._inserts_since_full >= self.config.full_recluster_every:
+        if self._partition.inserts_since_full >= (
+            self.config.full_recluster_every
+        ):
             return False
         graph = self.problem_graph
-        # Out-of-band mutations (e.g. remove_problem called directly on
-        # the graph) desync the version from the tracked insertions and
-        # coherently fall back to a full run.
-        if graph.version != self._cluster_version + len(self._pending_keys):
+        # Any journaled mutation — including out-of-band removals —
+        # replays; only a trimmed journal (or a bulk build epoch)
+        # forces the full path.
+        if not graph.can_replay(self._partition.cursor):
             return False
         if (
             self.config.incremental_clustering == "auto"
@@ -340,31 +480,37 @@ class MoRER:
         seed = int(self._rng.integers(0, 2**31 - 1))
         clusters = None
         if self._incremental_clustering_active():
-            candidate = graph.cluster(
-                config.clustering_algorithm, config.resolution, seed,
-                seed_communities=self._cluster_cache,
-                changed_keys=self._pending_keys,
+            outcome = self._partition.replay(
+                graph, config.resolution, seed
             )
-            quality = modularity(graph.graph, candidate, config.resolution)
-            if quality >= self._full_modularity - config.recluster_tolerance:
-                clusters = candidate
-                # Repeat solves of already-integrated problems leave
-                # pending empty: nothing changed, so the warm streak
-                # does not consume the periodic full-recluster budget.
-                self._inserts_since_full += len(self._pending_keys)
+            if outcome is not None and outcome.quality >= (
+                self._partition.reference_modularity
+                - config.recluster_tolerance
+            ):
+                # Repeat solves of already-integrated problems replay
+                # an empty journal slice: nothing changed, so the warm
+                # streak does not consume the periodic full-recluster
+                # budget.
+                self._partition.accept(outcome)
+                clusters = communities_from_partition(outcome.partition)
+                self.counters["warm_reclusters"] += 1
         if clusters is None:
             clusters = graph.cluster(
                 config.clustering_algorithm, config.resolution, seed
             )
+            self.counters["full_reclusters"] += 1
             if self._track_cluster_cache():
-                self._full_modularity = modularity(
-                    graph.graph, clusters, config.resolution
+                self._partition = PartitionState.from_full_run(
+                    graph, partition_from_communities(clusters),
+                    config.resolution,
                 )
-                self._inserts_since_full = 0
-        if self._track_cluster_cache():
-            self._cluster_cache = clusters
-            self._cluster_version = graph.version
-        self._pending_keys = set()
+                self.counters["full_quality_passes"] += 1
+        # Reclaim journal entries every consumer has seen (all of them,
+        # when no partition state is live).
+        graph.trim_journal(
+            graph.version if self._partition is None
+            else self._partition.cursor
+        )
         self.timings["clustering"] += time.perf_counter() - started
         self.clusters_ = clusters
         return clusters
@@ -462,6 +608,86 @@ class MoRER:
         self.repository.invalidate_entry_cache(entry.cluster_id)
         self._invalidate_cluster_cache()
         return spent
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path):
+        """Persist the whole solve session to directory ``path``.
+
+        Layout (``format`` :data:`PERSISTENCE_FORMAT`):
+
+        * ``repository/`` — the :meth:`ModelRepository.save` directory
+          (manifest, models, training arrays, search sketch matrix);
+        * ``graph.npz`` — problem features/labels, per-problem
+          signature statistics, edges, the memoized pair cache and the
+          insertion-prefilter sketch matrix;
+        * ``morer.json`` — config, graph metadata + pending journal,
+          the :class:`PartitionState`, trained keys, clusters, timings
+          and the RNG stream state.
+
+        :meth:`load` restores all of it, so the first post-restart
+        ``sel_cov`` solve replays the journal instead of rebuilding
+        signatures, sketches or the partition, and draws the same
+        seeds the pre-save instance would have.
+        """
+        if self.repository is None:
+            raise RuntimeError("MoRER is not fitted; call fit() first")
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        self.repository.save(path / "repository")
+        graph_meta, graph_arrays = self.problem_graph.export_state()
+        np.savez_compressed(path / "graph.npz", **graph_arrays)
+        state = {
+            "format": PERSISTENCE_FORMAT,
+            "config": self.config.to_dict(),
+            "graph": graph_meta,
+            "trained_keys": sorted(
+                list(key) for key in self.trained_keys
+            ),
+            "clusters": None if self.clusters_ is None else [
+                sorted(list(key) for key in cluster)
+                for cluster in self.clusters_
+            ],
+            "partition": (
+                None if self._partition is None
+                else self._partition.to_dict()
+            ),
+            "timings": self.timings,
+            "rng_state": self._rng.bit_generator.state,
+        }
+        (path / "morer.json").write_text(json.dumps(state))
+
+    @classmethod
+    def load(cls, path):
+        """Rebuild a fitted MoRER from a :meth:`save` directory."""
+        path = Path(path)
+        state = json.loads((path / "morer.json").read_text())
+        if state.get("format") != PERSISTENCE_FORMAT:
+            raise ValueError(
+                f"unsupported MoRER save format {state.get('format')!r}; "
+                f"this build reads format {PERSISTENCE_FORMAT}"
+            )
+        morer = cls(MoRERConfig.from_dict(state["config"]))
+        morer.repository = ModelRepository.load(path / "repository")
+        with np.load(path / "graph.npz", allow_pickle=False) as arrays:
+            morer.problem_graph = ERProblemGraph.restore_state(
+                state["graph"], arrays, morer.test
+            )
+        morer.trained_keys = {
+            tuple(key) for key in state["trained_keys"]
+        }
+        if state["clusters"] is not None:
+            morer.clusters_ = [
+                {tuple(key) for key in cluster}
+                for cluster in state["clusters"]
+            ]
+        if state["partition"] is not None:
+            morer._partition = PartitionState.from_dict(
+                state["partition"]
+            )
+        morer.timings = dict(state["timings"])
+        morer._rng.bit_generator.state = state["rng_state"]
+        return morer
 
     # -- reporting ----------------------------------------------------------------
 

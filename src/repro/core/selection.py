@@ -10,10 +10,13 @@
 At scale both ``sel_cov`` steps are sublinear in graph size: insertion
 goes through the graph's sketch prefilter (``n_candidates``
 sketch-nearest vertices instead of all vertices) and reclustering
-warm-starts from MoRER's cached partition via
-:func:`~repro.graphcluster.incremental_leiden` — see
-:meth:`MoRER._timed_cluster` for the cache/fallback policy. Below the
+replays the graph's mutation journal into MoRER's
+:class:`~repro.core.partition_state.PartitionState` (one bounded local
+move over the perturbed region, delta-tracked modularity) — see
+:meth:`MoRER._timed_cluster` for the replay/fallback policy. Below the
 configured thresholds both steps keep the paper's exact behaviour.
+:func:`decide_cov` is the per-probe decision half, shared between the
+sequential path and :meth:`MoRER.solve_batch`.
 """
 
 from __future__ import annotations
@@ -22,7 +25,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SolveResult", "pool_problems", "select_base", "select_cov"]
+__all__ = [
+    "SolveResult",
+    "pool_problems",
+    "select_base",
+    "select_cov",
+    "decide_cov",
+]
 
 
 @dataclass
@@ -47,6 +56,14 @@ class SolveResult:
         Oracle labels consumed while serving this problem.
     coverage : float
         The Eq. 13 coverage ratio observed (``sel_cov`` only).
+    overhead_seconds : float
+        Analysis + clustering + search time attributable to this
+        probe. Sequential ``solve`` charges the whole integration
+        here; ``solve_batch`` charges each probe an equal share of the
+        batch's shared integration/recluster cost plus whatever
+        reclustering the probe itself forced — summing the batch's
+        values reproduces the wall-clock overhead exactly once (the
+        same seconds land once in ``MoRER.timings``).
     """
 
     predictions: np.ndarray
@@ -56,6 +73,7 @@ class SolveResult:
     retrained: bool = False
     labels_spent: int = 0
     coverage: float = 0.0
+    overhead_seconds: float = 0.0
 
 
 def pool_problems(problems):
@@ -104,7 +122,18 @@ def select_cov(morer, problem, oracle=None):
     if key not in morer.problem_graph:
         morer._timed_add_problem(problem)
     clusters = morer._timed_cluster()
+    return decide_cov(morer, problem, oracle, clusters)
 
+
+def decide_cov(morer, problem, oracle, clusters):
+    """The per-probe half of :math:`sel_{cov}`: given the refreshed
+    clustering, decide reuse vs retrain and classify.
+
+    Shared by :func:`select_cov` (integrate one probe, then decide)
+    and :meth:`MoRER.solve_batch` (integrate the whole batch once,
+    then decide per probe in order).
+    """
+    key = problem.key
     new_cluster = next((c for c in clusters if key in c), {key})
     trained = morer.trained_keys & new_cluster
     untrained = new_cluster - morer.trained_keys

@@ -245,6 +245,10 @@ class SignatureStore:
             raise ValueError("SignatureStore needs max_size >= 1")
         self.max_size = int(max_size)
         self._data = OrderedDict()
+        #: How many signatures this store has *constructed* (cache
+        #: misses); seeded signatures (:meth:`put`) don't count, so the
+        #: persistence tests can assert a loaded store rebuilds nothing.
+        self.builds = 0
 
     def signature(self, key, features):
         """Cached signature for ``key``, recomputed if ``features`` changed."""
@@ -253,11 +257,20 @@ class SignatureStore:
             self._data.move_to_end(key)
             return cached
         signature = ProblemSignature(features)
+        self.builds += 1
         self._data[key] = signature
         self._data.move_to_end(key)
         while len(self._data) > self.max_size:
             self._data.popitem(last=False)
         return signature
+
+    def put(self, key, signature):
+        """Seed the cache with a pre-built signature (persistence
+        restore); does not count towards :attr:`builds`."""
+        self._data[key] = signature
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_size:
+            self._data.popitem(last=False)
 
     def get(self, key):
         """Cached signature or ``None`` (counts as a use for LRU)."""

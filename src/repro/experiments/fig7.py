@@ -17,8 +17,14 @@ COVERAGE_THRESHOLDS = (0.1, 0.25, 0.5)
 
 
 def run_fig7(datasets=("dexter", "wdc-computer", "music"), budget=100,
-             thresholds=COVERAGE_THRESHOLDS, scale=0.25, random_state=0):
-    """Sweep the selection strategies; returns result rows."""
+             thresholds=COVERAGE_THRESHOLDS, scale=0.25, random_state=0,
+             batch_size=None):
+    """Sweep the selection strategies; returns result rows.
+
+    ``batch_size`` > 1 serves every ``sel_cov`` arm through
+    :meth:`MoRER.solve_batch` (one graph integration + recluster per
+    chunk of unsolved problems) — the amortised streaming mode.
+    """
     rows = []
     for name in datasets:
         _, _, split = load_benchmark(
@@ -36,6 +42,7 @@ def run_fig7(datasets=("dexter", "wdc-computer", "music"), budget=100,
             cov = evaluate_morer(
                 name, split, budget=budget, al_method="bootstrap",
                 selection="cov", t_cov=t_cov, random_state=random_state,
+                solve_batch_size=batch_size,
             )
             rows.append({
                 "dataset": name, "strategy": f"cov({t_cov})", "f1": cov.f1,
@@ -45,9 +52,9 @@ def run_fig7(datasets=("dexter", "wdc-computer", "music"), budget=100,
     return rows
 
 
-def main(scale=0.25, budget=100):
+def main(scale=0.25, budget=100, batch_size=None):
     """Print the Fig. 7 panels."""
-    rows = run_fig7(scale=scale, budget=budget)
+    rows = run_fig7(scale=scale, budget=budget, batch_size=batch_size)
     headers = ["Dataset", "Strategy", "F1", "Total labels", "Extra labels"]
     table_rows = [
         [r["dataset"], r["strategy"], f"{r['f1']:.3f}", r["total_labels"],

@@ -91,11 +91,15 @@ def subsample_problems(problems, fraction, random_state=None):
 def evaluate_morer(dataset_name, split, budget=None, al_method="bootstrap",
                    distribution_test="ks", selection="base", t_cov=0.25,
                    supervised_fraction=None, clustering="leiden",
-                   use_record_score=True, b_min=None, random_state=0):
+                   use_record_score=True, b_min=None, random_state=0,
+                   solve_batch_size=None):
     """Run MoRER end-to-end and score it on the unsolved problems.
 
     ``budget=None`` with ``supervised_fraction`` set runs the supervised
     variant of Table 4 (all / 50% of the initial vectors as training).
+    ``solve_batch_size`` > 1 serves the unsolved ``sel_cov`` stream
+    through :meth:`MoRER.solve_batch` in chunks of that size (one
+    integration + recluster per chunk) instead of one solve at a time.
     """
     initial = split.initial
     if supervised_fraction is not None:
@@ -135,13 +139,21 @@ def evaluate_morer(dataset_name, split, budget=None, al_method="bootstrap",
     morer.fit(initial)
     predictions = []
     extra_labels = 0
-    for problem in split.unsolved:
-        if selection == "cov":
-            result = morer.solve(problem)
-            extra_labels += result.labels_spent
-        else:
-            result = morer.solve(problem.without_labels())
-        predictions.append(result.predictions)
+    if selection == "cov" and solve_batch_size and solve_batch_size > 1:
+        unsolved = list(split.unsolved)
+        for start in range(0, len(unsolved), solve_batch_size):
+            chunk = unsolved[start:start + solve_batch_size]
+            for result in morer.solve_batch(chunk):
+                extra_labels += result.labels_spent
+                predictions.append(result.predictions)
+    else:
+        for problem in split.unsolved:
+            if selection == "cov":
+                result = morer.solve(problem)
+                extra_labels += result.labels_spent
+            else:
+                result = morer.solve(problem.without_labels())
+            predictions.append(result.predictions)
     runtime = time.perf_counter() - started
     precision, recall, f1 = concat_predictions(split.unsolved, predictions)
     return MethodResult(

@@ -17,9 +17,10 @@ from .girvan_newman import edge_betweenness, girvan_newman
 from .graph import Graph
 from .label_propagation import label_propagation
 from .leiden import incremental_leiden, leiden
-from .louvain import louvain
+from .louvain import local_move, louvain
 from .mincut import min_cut_edges, stoer_wagner
 from .quality import (
+    ModularityAggregates,
     communities_from_partition,
     cpm_quality,
     modularity,
@@ -39,10 +40,12 @@ __all__ = [
     "leiden",
     "incremental_leiden",
     "louvain",
+    "local_move",
     "label_propagation",
     "girvan_newman",
     "edge_betweenness",
     "modularity",
+    "ModularityAggregates",
     "cpm_quality",
     "partition_from_communities",
     "communities_from_partition",

@@ -19,7 +19,11 @@ import math
 
 from ..ml.utils import check_random_state
 from .louvain import local_move
-from .quality import communities_from_partition, modularity
+from .quality import (
+    communities_from_partition,
+    modularity,
+    partition_from_communities,
+)
 
 __all__ = ["leiden", "incremental_leiden"]
 
@@ -104,24 +108,38 @@ def incremental_leiden(
     theta=0.01,
     tolerance=None,
     reference_modularity=None,
+    aggregates=None,
 ):
     """Locally updated Leiden partition after a small graph change.
 
-    Seeds the partition with ``previous_communities`` (nodes the
-    previous clustering did not cover start as singletons) and runs one
-    bounded local move whose work queue holds only ``changed_nodes``
-    and their graph neighbours, so an insertion re-examines the
-    neighbourhood it perturbed instead of sweeping the whole graph.
-    Refinement and aggregation are deliberately skipped — with a
-    near-converged seed they re-derive the seed at full-graph cost —
-    which is what makes the update sublinear in practice; quality is
-    guarded by the fallback below, not by Leiden's per-run guarantees.
+    Seeds the partition with ``previous_communities`` — either an
+    iterable of node collections or a ready ``node -> label`` map
+    (nodes the previous clustering did not cover start as singletons)
+    — and runs one bounded local move whose work queue holds only
+    ``changed_nodes`` and their graph neighbours, so an insertion
+    re-examines the neighbourhood it perturbed instead of sweeping the
+    whole graph. Refinement and aggregation are deliberately skipped —
+    with a near-converged seed they re-derive the seed at full-graph
+    cost — which is what makes the update sublinear in practice;
+    quality is guarded by the fallback below, not by Leiden's per-run
+    guarantees.
 
     When ``tolerance`` and ``reference_modularity`` are given and the
     updated partition's modularity falls more than ``tolerance`` below
     the reference (normally the last full run's modularity), the local
     update is discarded and a full :func:`leiden` run decides — the
     safety valve against drift accumulating over many local updates.
+    With ``aggregates`` (delta-tracked per-community ``(L_c, K_c)``
+    sums, see :class:`~repro.graphcluster.ModularityAggregates`) that
+    check reads the running sums instead of paying an O(edges)
+    :func:`modularity` pass; the aggregates must have been built
+    against the seed's labels with the seed covering *every* node of
+    the graph (uncovered nodes get singleton labels the aggregates
+    would know nothing about), and on fallback they are re-derived
+    against the full result. MoRER's journal-replay path
+    (:meth:`~repro.core.partition_state.PartitionState.replay`) calls
+    :func:`local_move` with aggregates directly — this entry point is
+    the standalone equivalent for callers that manage their own seeds.
     Callers should additionally force a periodic full run (MoRER's
     ``full_recluster_every``), since modularity alone cannot see every
     kind of degradation (e.g. internally disconnected communities).
@@ -129,13 +147,16 @@ def incremental_leiden(
     Returns a list of node-set communities, like :func:`leiden`.
     """
     rng = check_random_state(random_state)
-    seed = {}
-    for community in previous_communities:
-        label = None
-        for node in community:
-            if label is None:
-                label = node
-            seed[node] = label
+    if isinstance(previous_communities, dict):
+        seed = previous_communities
+    else:
+        seed = {}
+        for community in previous_communities:
+            label = None
+            for node in community:
+                if label is None:
+                    label = node
+                seed[node] = label
     partition = {node: seed.get(node, node) for node in graph.nodes()}
     queue_nodes = set()
     for node in changed_nodes:
@@ -143,13 +164,25 @@ def incremental_leiden(
             queue_nodes.add(node)
             queue_nodes.update(graph.neighbors(node))
     partition, _ = local_move(
-        graph, partition, resolution, rng, nodes=queue_nodes
+        graph, partition, resolution, rng, nodes=queue_nodes,
+        aggregates=aggregates,
     )
     communities = communities_from_partition(partition)
     if tolerance is not None and reference_modularity is not None:
-        quality = modularity(graph, communities, resolution)
+        if aggregates is not None:
+            quality = aggregates.quality(resolution)
+        else:
+            quality = modularity(graph, communities, resolution)
         if quality < reference_modularity - tolerance:
-            return leiden(graph, resolution, rng, max_levels, theta)
+            communities = leiden(graph, resolution, rng, max_levels, theta)
+            if aggregates is not None:
+                # The local moves already mutated the aggregates
+                # against the now-discarded partition: re-derive them
+                # from the full result so the caller's quality() reads
+                # stay truthful.
+                aggregates.rebuild(
+                    graph, partition_from_communities(communities)
+                )
     return communities
 
 

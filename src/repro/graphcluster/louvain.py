@@ -15,7 +15,8 @@ from .quality import communities_from_partition
 __all__ = ["louvain", "local_move"]
 
 
-def local_move(graph, partition, resolution=1.0, rng=None, nodes=None):
+def local_move(graph, partition, resolution=1.0, rng=None, nodes=None,
+               aggregates=None):
     """Queue-based fast local move.
 
     Each node is repeatedly offered its best neighbouring community by
@@ -33,6 +34,12 @@ def local_move(graph, partition, resolution=1.0, rng=None, nodes=None):
         The seed queue is canonicalised to graph insertion order before
         the shuffle, so passing a set (hash-ordered) cannot leak
         ``PYTHONHASHSEED`` into seeded results.
+    aggregates : ModularityAggregates, optional
+        Delta-tracked per-community ``(L_c, K_c)`` sums, updated in
+        O(1) per accepted move. Must have been built against (a
+        superset sharing labels with) ``partition``; afterwards its
+        ``quality()`` reflects the returned partition without any
+        O(edges) modularity pass.
 
     Returns
     -------
@@ -98,6 +105,12 @@ def local_move(graph, partition, resolution=1.0, rng=None, nodes=None):
         if best_community != current:
             partition[node] = best_community
             moved_any = True
+            if aggregates is not None:
+                aggregates.move(
+                    current, best_community, k,
+                    weight_to[current], weight_to[best_community],
+                    graph.edge_weight(node, node),
+                )
             for neighbour in graph.neighbors(node):
                 if (
                     neighbour != node

@@ -1,9 +1,17 @@
-"""Partition quality functions (modularity, CPM) and partition helpers."""
+"""Partition quality functions (modularity, CPM) and partition helpers.
+
+Besides the one-shot :func:`modularity` pass this module provides
+:class:`ModularityAggregates`, the delta-tracked form used by the
+incremental ``sel_cov`` path: per-community :math:`(L_c, K_c)` sums
+updated in O(1) per node move / graph mutation, so the degradation
+check after a bounded local move costs O(moved region) instead of one
+O(edges) :func:`modularity` sweep per solve.
+"""
 
 from __future__ import annotations
 
 __all__ = ["modularity", "cpm_quality", "partition_from_communities",
-           "communities_from_partition"]
+           "communities_from_partition", "ModularityAggregates"]
 
 
 def partition_from_communities(communities):
@@ -66,6 +74,151 @@ def modularity(graph, communities, resolution=1.0):
             - resolution * (community_strength / (2 * m)) ** 2
         )
     return q
+
+
+class ModularityAggregates:
+    """Per-community ``(L_c, K_c)`` sums with O(1) incremental updates.
+
+    Tracks, for a ``node -> label`` partition over a weighted graph,
+
+    * ``intra[c]`` — :math:`L_c`, the intra-community edge weight
+      (each edge counted once, self-loops once),
+    * ``strength[c]`` — :math:`K_c`, the summed node strengths
+      (self-loops count twice, matching :meth:`Graph.strength`),
+    * ``m`` — the total edge weight,
+
+    plus the running totals :math:`\\sum_c L_c` and
+    :math:`\\sum_c K_c^2`, so :meth:`quality` is O(1):
+
+    .. math:: Q = \\frac{\\sum_c L_c}{m}
+              - \\gamma \\frac{\\sum_c K_c^2}{4 m^2}
+
+    Three mutation channels keep the sums current:
+
+    * :meth:`move` — a node changes community (``local_move``);
+    * :meth:`add_node` — a vertex joins as a singleton community with
+      edges to existing vertices (journal replay of an insertion);
+    * :meth:`remove_node` — a vertex leaves with its incident edges
+      (journal replay of a removal).
+
+    Labels never get garbage-collected on reaching zero strength (float
+    cancellation makes "exactly zero" unreliable); callers rebuild from
+    scratch at every full recluster, which bounds the dead-label count
+    by the churn between full runs.
+    """
+
+    __slots__ = ("m", "intra", "strength", "intra_total", "strength_sq")
+
+    def __init__(self, m=0.0, intra=None, strength=None):
+        self.m = float(m)
+        self.intra = dict(intra or {})
+        self.strength = dict(strength or {})
+        self.intra_total = sum(self.intra.values())
+        self.strength_sq = sum(k * k for k in self.strength.values())
+
+    @classmethod
+    def from_partition(cls, graph, partition):
+        """One O(edges) pass over ``graph`` — the full-recluster price.
+
+        ``partition`` must cover every node of ``graph``.
+        """
+        intra = {}
+        strength = {}
+        for node, label in partition.items():
+            strength[label] = strength.get(label, 0.0) + graph.strength(node)
+        for u, v, weight in graph.edges():
+            label = partition[u]
+            if u == v or partition[v] == label:
+                intra[label] = intra.get(label, 0.0) + weight
+        return cls(graph.total_weight(), intra, strength)
+
+    def rebuild(self, graph, partition):
+        """Re-derive every sum from ``graph``/``partition`` in place —
+        the recovery path after updates against a discarded partition
+        (e.g. :func:`incremental_leiden`'s degradation fallback)."""
+        twin = ModularityAggregates.from_partition(graph, partition)
+        self.m = twin.m
+        self.intra = twin.intra
+        self.strength = twin.strength
+        self.intra_total = twin.intra_total
+        self.strength_sq = twin.strength_sq
+
+    def copy(self):
+        """Independent copy (used to trial a replay before accepting)."""
+        twin = ModularityAggregates.__new__(ModularityAggregates)
+        twin.m = self.m
+        twin.intra = dict(self.intra)
+        twin.strength = dict(self.strength)
+        twin.intra_total = self.intra_total
+        twin.strength_sq = self.strength_sq
+        return twin
+
+    def quality(self, resolution=1.0):
+        """Current modularity — O(1), no graph pass."""
+        if self.m <= 0:
+            return 0.0
+        return (
+            self.intra_total / self.m
+            - resolution * self.strength_sq / (4.0 * self.m * self.m)
+        )
+
+    def _shift_intra(self, label, delta):
+        self.intra_total += delta
+        self.intra[label] = self.intra.get(label, 0.0) + delta
+
+    def _shift_strength(self, label, delta):
+        old = self.strength.get(label, 0.0)
+        new = old + delta
+        self.strength_sq += new * new - old * old
+        self.strength[label] = new
+
+    def move(self, old, new, k, weight_old, weight_new, self_loop=0.0):
+        """A node of strength ``k`` moves from community ``old`` to
+        ``new``; ``weight_old`` / ``weight_new`` are its edge weights
+        into each community (self-loops excluded, as in
+        ``local_move``'s ``weight_to``)."""
+        if old == new:
+            return
+        self._shift_intra(old, -(weight_old + self_loop))
+        self._shift_intra(new, weight_new + self_loop)
+        self._shift_strength(old, -k)
+        self._shift_strength(new, k)
+
+    def add_node(self, label, edges, partition, self_loop=0.0):
+        """A vertex joins as singleton community ``label`` with
+        ``edges`` (``neighbour -> weight``, neighbours only); every
+        neighbour must be covered by ``partition``."""
+        k = 2.0 * self_loop
+        for neighbour, weight in edges.items():
+            self.m += weight
+            self._shift_strength(partition[neighbour], weight)
+            k += weight
+        self.m += self_loop
+        if self_loop:
+            self._shift_intra(label, self_loop)
+        self._shift_strength(label, k)
+
+    def remove_node(self, label, edges, partition, self_loop=0.0):
+        """A vertex labelled ``label`` leaves with its incident
+        ``edges``; ``partition`` must no longer contain it (pop first)
+        but still cover its neighbours."""
+        k = 2.0 * self_loop
+        for neighbour, weight in edges.items():
+            self.m -= weight
+            self._shift_strength(partition[neighbour], -weight)
+            if partition[neighbour] == label:
+                self._shift_intra(label, -weight)
+            k += weight
+        self.m -= self_loop
+        if self_loop:
+            self._shift_intra(label, -self_loop)
+        self._shift_strength(label, -k)
+
+    def __repr__(self):
+        return (
+            f"ModularityAggregates(m={self.m:.3f}, "
+            f"communities={len(self.strength)})"
+        )
 
 
 def cpm_quality(graph, communities, resolution=1.0):

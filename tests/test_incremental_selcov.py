@@ -158,24 +158,46 @@ def test_sel_cov_retraining_invalidates_partition_cache():
         result = morer.solve(probe)
         retrained = retrained or result.retrained
         if result.retrained:
-            assert morer._cluster_cache is None
-            assert morer._full_modularity is None
+            assert morer._partition is None
     assert retrained  # the scenario must actually exercise Eq. 14
 
 
-def test_sel_cov_out_of_band_mutation_forces_full_recluster():
+def test_sel_cov_out_of_band_removal_survives_warm_start():
+    """Regression: an out-of-band ``remove_problem`` used to desync the
+    version counter and force a full recluster; the journal now replays
+    it (drop the vertex, queue its neighbours) and the seed survives."""
     family = make_problem_family(8)
     morer = _fit(True, family)
     morer.solve(_probes(1)[0])
     assert morer._incremental_clustering_active()
-    # Removing a problem behind MoRER's back desyncs the version.
+    full_runs = morer.counters["full_reclusters"]
     victim = next(iter(morer.problem_graph.problems()))
     morer.problem_graph.remove_problem(victim)
-    assert not morer._incremental_clustering_active()
-    result = morer.solve(_probes(2, seed=300)[1])  # full run, then cached
-    assert result.predictions is not None
-    assert morer._inserts_since_full == 0
     assert morer._incremental_clustering_active()
+    result = morer.solve(_probes(2, seed=300)[1])
+    assert result.predictions is not None
+    # The removal rode the warm path: no extra full run, the streak
+    # kept absorbing, and the victim is gone from the partition.
+    assert morer.counters["full_reclusters"] == full_runs
+    assert morer._inserts_since_full == 2
+    assert all(victim not in cluster for cluster in morer.clusters_)
+    assert victim not in morer._partition.partition
+
+
+def test_sel_cov_journal_trim_forces_full_recluster():
+    """Replay is only possible while the journal reaches the cursor."""
+    family = make_problem_family(8)
+    morer = _fit(True, family)
+    morer.solve(_probes(1)[0])
+    assert morer._incremental_clustering_active()
+    graph = morer.problem_graph
+    graph.add_problem(_probes(3, seed=310)[2])
+    graph.trim_journal(graph.version)  # discard before MoRER replays
+    assert not morer._incremental_clustering_active()
+    full_runs = morer.counters["full_reclusters"]
+    morer.solve(_probes(2, seed=300)[1])
+    assert morer.counters["full_reclusters"] == full_runs + 1
+    assert morer._incremental_clustering_active()  # cache rebuilt
 
 
 def test_sel_cov_full_recluster_every_bounds_warm_streak():
@@ -198,10 +220,10 @@ def test_sel_cov_modularity_degradation_falls_back():
     assert morer._inserts_since_full == 1
     # An impossible reference forces the degradation valve: the next
     # recluster must run full and reset the reference to reality.
-    morer._full_modularity = 10.0
+    morer._partition.reference_modularity = 10.0
     morer.solve(_probes(2, seed=500)[1])
     assert morer._inserts_since_full == 0
-    assert morer._full_modularity < 10.0
+    assert morer._partition.reference_modularity < 10.0
 
 
 def test_config_validates_incremental_knobs():
@@ -226,4 +248,8 @@ def test_sel_cov_incremental_with_non_leiden_stays_full():
     for probe in _probes(2, seed=600):
         morer.solve(probe)
     assert morer._inserts_since_full == 0
-    assert morer._cluster_cache is None
+    assert morer._partition is None
+    # No consumer: the journal must not accumulate either.
+    assert morer.problem_graph.journal_since(
+        morer.problem_graph.version
+    ) == []

@@ -1,0 +1,398 @@
+"""Mutation-journal tests: entry bookkeeping, replay exactness,
+batched insertion/solving, timing attribution, and a property-style
+mixed-churn suite driving random interleaved insert / remove /
+``solve_batch`` sequences against the full-recluster reference."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ERProblemGraph,
+    MoRER,
+    PartitionState,
+    adjusted_rand_index,
+)
+from repro.core.graph import JournalEntry
+from repro.graphcluster import (
+    ModularityAggregates,
+    modularity,
+    partition_from_communities,
+)
+from tests.conftest import make_problem, make_problem_family
+
+TOLERANCE = 1e-9
+
+
+def _probes(n, seed=100, prefix="X"):
+    return [
+        make_problem(
+            f"{prefix}{i}", f"{prefix}{i}b", shift=0.3 * (i % 2),
+            seed=seed + i,
+        )
+        for i in range(n)
+    ]
+
+
+def _fit(incremental, family, **overrides):
+    config = dict(
+        b_total=200, b_min=10, selection="cov", t_cov=0.6, random_state=0,
+        incremental_clustering=incremental,
+    )
+    config.update(overrides)
+    return MoRER(**config).fit(family)
+
+
+# -- journal bookkeeping -----------------------------------------------------------
+
+
+def test_journal_records_mutations_with_edges():
+    graph = ERProblemGraph.build(make_problem_family(5), "ks")
+    # build is an epoch boundary: version advanced, nothing replayable.
+    assert graph.version == 5
+    assert graph.journal_since(0) is None
+    assert graph.journal_since(5) == []
+    probe = make_problem("X", "Y", seed=50)
+    graph.add_problem(probe)
+    entries = graph.journal_since(5)
+    assert len(entries) == 1
+    assert entries[0].op == JournalEntry.INSERT
+    assert entries[0].key == probe.key
+    # The journaled edges are exactly the edges the insertion created.
+    assert entries[0].edges == dict(graph.graph.neighbors(probe.key))
+    recorded = dict(entries[0].edges)
+    graph.remove_problem(probe.key)
+    entries = graph.journal_since(5)
+    assert [e.op for e in entries] == [
+        JournalEntry.INSERT, JournalEntry.REMOVE
+    ]
+    assert entries[1].edges == recorded
+    # Trim reclaims consumed entries and shifts the replay horizon.
+    graph.trim_journal(6)
+    assert graph.journal_since(5) is None
+    assert [e.op for e in graph.journal_since(6)] == [JournalEntry.REMOVE]
+    assert graph.can_replay(7) and not graph.can_replay(4)
+
+
+def test_journal_entry_json_round_trip():
+    entry = JournalEntry(
+        JournalEntry.REMOVE, ("A", "B"), {("C", "D"): 0.25}
+    )
+    twin = JournalEntry.from_json(entry.to_json())
+    assert twin.op == entry.op
+    assert twin.key == entry.key
+    assert twin.edges == entry.edges
+
+
+def test_replay_tracks_modularity_exactly_through_churn():
+    """Replayed aggregates must equal a fresh O(edges) modularity pass
+    after arbitrary insert/remove interleavings."""
+    graph = ERProblemGraph.build(make_problem_family(8), "ks")
+    clusters = graph.cluster("leiden", 1.0, 0)
+    state = PartitionState.from_full_run(
+        graph, partition_from_communities(clusters)
+    )
+    probes = _probes(5, seed=70)
+    graph.add_problems(probes[:3])
+    graph.remove_problem(probes[1].key)
+    graph.add_problem(probes[3])
+    graph.remove_problem(make_problem_family(8)[0].key)
+    graph.add_problem(probes[4])
+    outcome = state.replay(graph, 1.0, 0)
+    assert outcome is not None
+    assert set(outcome.partition) == set(graph.problems())
+    communities = {}
+    for node, label in outcome.partition.items():
+        communities.setdefault(label, set()).add(node)
+    full = modularity(graph.graph, list(communities.values()), 1.0)
+    assert abs(outcome.quality - full) < TOLERANCE
+    assert outcome.inserts == 5
+    # Rejecting the outcome must leave the state untouched.
+    assert set(state.partition) != set(graph.problems())
+    state.accept(outcome)
+    assert state.cursor == graph.version
+    assert state.inserts_since_full == 5
+
+
+def test_replay_reinsertion_label_collision_stays_exact():
+    """Regression: a re-inserted key whose old community label survived
+    (a neighbour moved into it before the removal) must start as a
+    genuine singleton — silently joining the surviving community
+    corrupted the aggregates."""
+    family = make_problem_family(8)
+    graph = ERProblemGraph.build(family, "ks")
+    clusters = graph.cluster("leiden", 1.0, 0)
+    state = PartitionState.from_full_run(
+        graph, partition_from_communities(clusters)
+    )
+    probe = _probes(1, seed=75)[0]
+    # Relabel one whole community to the probe's key: exactly the state
+    # remove/re-insert churn leaves behind.
+    target = next(iter(state.partition.values()))
+    for node, label in list(state.partition.items()):
+        if label == target:
+            state.partition[node] = probe.key
+    state.aggregates = ModularityAggregates.from_partition(
+        graph.graph, state.partition
+    )
+    graph.add_problem(probe)
+    outcome = state.replay(graph, 1.0, 0)
+    communities = list(_group(outcome.partition).values())
+    assert abs(
+        outcome.quality - modularity(graph.graph, communities, 1.0)
+    ) < TOLERANCE
+
+
+def test_incremental_leiden_fallback_rebuilds_aggregates():
+    """When the degradation valve discards the local update, caller
+    aggregates must be re-derived against the returned partition."""
+    from repro.graphcluster import incremental_leiden
+
+    graph = ERProblemGraph.build(make_problem_family(8), "ks")
+    clusters = graph.cluster("leiden", 1.0, 0)
+    partition = partition_from_communities(clusters)
+    aggregates = ModularityAggregates.from_partition(graph.graph, partition)
+    communities = incremental_leiden(
+        graph.graph, partition, list(graph.problems()),
+        random_state=0, tolerance=0.0, reference_modularity=10.0,
+        aggregates=aggregates,
+    )
+    assert abs(
+        aggregates.quality(1.0)
+        - modularity(graph.graph, communities, 1.0)
+    ) < TOLERANCE
+
+
+def test_aggregates_from_partition_matches_modularity():
+    graph = ERProblemGraph.build(make_problem_family(6), "ks")
+    partition = partition_from_communities(graph.cluster("leiden", 1.0, 0))
+    aggregates = ModularityAggregates.from_partition(graph.graph, partition)
+    assert abs(
+        aggregates.quality(1.0)
+        - modularity(graph.graph, list(_group(partition).values()), 1.0)
+    ) < TOLERANCE
+
+
+# -- batched insertion -------------------------------------------------------------
+
+
+def test_add_problems_matches_sequential_exact_mode():
+    family = make_problem_family(6)
+    probes = _probes(4, seed=80)
+    sequential = ERProblemGraph.build(family, "ks", use_index=False)
+    batched = ERProblemGraph.build(family, "ks", use_index=False)
+    for probe in probes:
+        sequential.add_problem(probe)
+    batched.add_problems(probes)
+    assert set(batched.problems()) == set(sequential.problems())
+    for u, v, weight in sequential.graph.edges():
+        assert abs(batched.graph.edge_weight(u, v) - weight) < TOLERANCE
+    assert (
+        batched.graph.number_of_edges()
+        == sequential.graph.number_of_edges()
+    )
+    # One journal entry per member, in insertion order.
+    entries = batched.journal_since(6)
+    assert [e.key for e in entries] == [p.key for p in probes]
+
+
+def test_add_problems_prefilters_through_the_index():
+    family = make_problem_family(10)
+    graph = ERProblemGraph.build(
+        family, "ks", use_index=True, index_threshold=1, n_candidates=3
+    )
+    probes = _probes(3, seed=81)
+    before = graph.stats["pair_evals"]
+    graph.add_problems(probes)
+    for probe in probes:
+        degree = len(graph.graph.neighbors(probe.key))
+        # <= candidates + edges to/from the other two batch members
+        assert degree <= 3 + 2
+    # Far fewer comparisons than the 10+11+12 of the exact path.
+    assert graph.stats["pair_evals"] - before <= 3 * (3 + 2)
+
+
+def test_add_problems_rejects_duplicates():
+    graph = ERProblemGraph.build(make_problem_family(4), "ks")
+    probe = make_problem("X", "Y", seed=82)
+    with pytest.raises(ValueError, match="already in the graph"):
+        graph.add_problems([probe, probe])
+    graph.add_problem(probe)
+    with pytest.raises(ValueError, match="already in the graph"):
+        graph.add_problems([make_problem("W", "V", seed=83), probe])
+
+
+# -- solve_batch -------------------------------------------------------------------
+
+
+def test_solve_batch_matches_sequential_decisions():
+    family = make_problem_family(10)
+    sequential = _fit(True, family, use_index=True, graph_candidates=6)
+    batched = _fit(True, family, use_index=True, graph_candidates=6)
+    probes = _probes(8, seed=90, prefix="B")
+    singles = [sequential.solve(p) for p in probes]
+    results = batched.solve_batch(probes)
+    assert len(results) == len(probes)
+    for single, result in zip(singles, results):
+        assert single.retrained == result.retrained
+        assert single.new_model == result.new_model
+    assert adjusted_rand_index(
+        sequential.clusters_, batched.clusters_
+    ) >= 0.97
+    # One batch = one warm recluster, not one per probe.
+    assert batched.counters["warm_reclusters"] == 1
+    assert batched.counters["batch_solves"] == 1
+
+
+def test_solve_batch_base_strategy_loops_search():
+    family = make_problem_family(8)
+    morer = _fit(True, family, selection="base")
+    probes = _probes(3, seed=91, prefix="C")
+    results = morer.solve_batch(probes)
+    for probe, result in zip(probes, results):
+        single = morer.solve(probe, strategy="base")
+        assert np.array_equal(result.predictions, single.predictions)
+    assert len(morer.problem_graph) == 8  # no integration under base
+
+
+def test_solve_batch_timing_attribution_consistent():
+    """Per-probe overhead shares must sum to the wall-clock overhead —
+    charged once, not double-counted."""
+    family = make_problem_family(10)
+    morer = _fit(True, family, use_index=True, graph_candidates=6)
+    probes = _probes(6, seed=92, prefix="D")
+    before = morer.overhead_seconds()
+    results = morer.solve_batch(probes)
+    elapsed = morer.overhead_seconds() - before
+    attributed = sum(result.overhead_seconds for result in results)
+    assert attributed == pytest.approx(elapsed, rel=1e-6, abs=1e-9)
+    # Sequential solve attributes its whole integration the same way.
+    probe = _probes(1, seed=93, prefix="E")[0]
+    before = morer.overhead_seconds()
+    result = morer.solve(probe)
+    assert result.overhead_seconds == pytest.approx(
+        morer.overhead_seconds() - before, rel=1e-6, abs=1e-9
+    )
+
+
+def test_solve_batch_empty_and_unfitted():
+    morer = MoRER(selection="cov")
+    with pytest.raises(RuntimeError, match="not fitted"):
+        morer.solve_batch([make_problem("X", "Y")])
+    fitted = _fit(True, make_problem_family(4))
+    assert fitted.solve_batch([]) == []
+
+
+# -- modularity stays off the hot path ---------------------------------------------
+
+
+def test_no_full_modularity_pass_on_warm_solves(monkeypatch):
+    """The degradation check reads the delta-tracked aggregates: a warm
+    solve must not call ``modularity()`` at all (call-count test)."""
+    family = make_problem_family(10)
+    morer = _fit(True, family, use_index=True, graph_candidates=6)
+    calls = {"n": 0}
+    import importlib
+    # The package re-exports `leiden` (the function), shadowing the
+    # submodule attribute — resolve the modules explicitly.
+    leiden_module = importlib.import_module("repro.graphcluster.leiden")
+    quality_module = importlib.import_module("repro.graphcluster.quality")
+
+    original = quality_module.modularity
+
+    def counted(*args, **kwargs):
+        calls["n"] += 1
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(quality_module, "modularity", counted)
+    monkeypatch.setattr(leiden_module, "modularity", counted)
+    full_passes = morer.counters["full_quality_passes"]
+    for probe in _probes(4, seed=95, prefix="F"):
+        morer.solve(probe)
+    assert calls["n"] == 0
+    assert morer.counters["full_quality_passes"] == full_passes
+    assert morer.counters["warm_reclusters"] >= 4
+
+
+# -- property-style mixed churn ----------------------------------------------------
+
+
+def test_mixed_churn_random_interleavings():
+    """Random interleaved insert / remove / solve_batch sequences: the
+    journal-replayed instance must track the full-recluster reference
+    (ARI >= 0.97, identical retraining decisions) while keeping its
+    journal cursor coherent after every step."""
+    rng = np.random.default_rng(7)
+    family = make_problem_family(12)
+    incremental = _fit(True, family, use_index=True, graph_candidates=8)
+    reference = _fit(False, family)
+    probe_pool = _probes(18, seed=500, prefix="G")
+    next_probe = 0
+    removable = []
+    for step in range(12):
+        op = rng.choice(["batch", "solve", "remove"])
+        if op == "remove" and not removable:
+            op = "solve"
+        if op == "batch":
+            size = int(rng.integers(2, 5))
+            batch = probe_pool[next_probe:next_probe + size]
+            if not batch:
+                break
+            next_probe += len(batch)
+            batch_results = incremental.solve_batch(batch)
+            reference_results = [reference.solve(p) for p in batch]
+            for got, want in zip(batch_results, reference_results):
+                assert got.retrained == want.retrained
+                assert got.new_model == want.new_model
+            removable.extend(p.key for p in batch)
+        elif op == "solve":
+            if next_probe >= len(probe_pool):
+                break
+            probe = probe_pool[next_probe]
+            next_probe += 1
+            got = incremental.solve(probe)
+            want = reference.solve(probe)
+            assert got.retrained == want.retrained
+            assert got.new_model == want.new_model
+            removable.append(probe.key)
+        else:
+            victim = removable.pop(int(rng.integers(len(removable))))
+            incremental.problem_graph.remove_problem(victim)
+            reference.problem_graph.remove_problem(victim)
+        # Clustering quality tracks the full reference.
+        assert adjusted_rand_index(
+            [c & set(incremental.problem_graph.problems())
+             for c in incremental.clusters_ if c
+             & set(incremental.problem_graph.problems())],
+            [c & set(reference.problem_graph.problems())
+             for c in reference.clusters_ if c
+             & set(reference.problem_graph.problems())],
+        ) >= 0.97
+        # Journal / partition-cursor coherence after every step.
+        graph = incremental.problem_graph
+        state = incremental._partition
+        if state is not None:
+            assert graph.can_replay(state.cursor)
+            pending = graph.journal_since(state.cursor)
+            assert pending is not None
+            assert set(state.partition) | {
+                e.key for e in pending if e.op == JournalEntry.INSERT
+            } >= set(graph.problems())
+            if not pending:
+                # Fully synced: partition covers the graph exactly and
+                # the delta-tracked quality matches a fresh full pass.
+                assert set(state.partition) == set(graph.problems())
+                assert abs(
+                    state.aggregates.quality(1.0)
+                    - modularity(
+                        graph.graph, list(_group(state.partition).values()),
+                        1.0,
+                    )
+                ) < TOLERANCE
+    assert next_probe > 8  # the scenario consumed a real stream
+
+
+def _group(partition):
+    groups = {}
+    for node, label in partition.items():
+        groups.setdefault(label, set()).add(node)
+    return groups
