@@ -1,0 +1,199 @@
+"""Service throughput bench: micro-batched vs lock-serialised serving.
+
+Fits twin MoRER instances over the initial problem set, wraps each in
+a :class:`~repro.service.MoRERService`, and drives both with the same
+probe stream from 16 concurrent ``sel_cov`` client threads:
+
+* **serialised** — ``max_batch_size=1``: every request becomes its own
+  write-lock-serialised ``solve_batch`` call (what a naive lock around
+  ``MoRER.solve`` would give);
+* **batched** — ``max_batch_size=16``: the background scheduler
+  coalesces whatever the 16 clients have in flight into one
+  ``solve_batch`` tick (one sketch-prefiltered integration pass + one
+  journal replay per tick).
+
+Both arms serve the identical probe set under nondeterministic arrival
+order (client scheduling — exactly the serving situation). Asserts
+≥ 2× wall-clock throughput of the batched arm over the serialised arm
+at the 800-problem repository (the tentpole acceptance bar), genuine
+coalescing (max coalesced batch ≥ 4), per-key identical reuse/retrain
+decisions, ≥ 90% serving-cluster agreement (a borderline probe may tip
+into a neighbouring cluster depending on which tick-mates landed
+first), and byte-identical predictions wherever the serving cluster
+agrees. ``--smoke`` runs one reduced size with a relaxed floor for CI.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core import MoRER
+from repro.service import MoRERService, SolveRequest
+
+try:  # under pytest the repo root is on sys.path (benchmarks/conftest)
+    from benchmarks.bench_batch_solve import (
+        _initial_problems,
+        _probe_problems,
+    )
+except ImportError:  # standalone run: benchmarks/ itself is sys.path[0]
+    from bench_batch_solve import _initial_problems, _probe_problems
+
+N_CLIENTS = 16
+
+
+def _fit(problems):
+    morer = MoRER(
+        selection="cov",
+        model_generation="supervised",
+        classifier="logistic_regression",
+        incremental_clustering=True,
+        use_index=True,
+        random_state=0,
+    )
+    return morer.fit(problems)
+
+
+def _drive(service, probes):
+    """16 client threads solving ``probes``; returns (elapsed, by_key)."""
+    shares = [probes[i::N_CLIENTS] for i in range(N_CLIENTS)]
+    by_key = {}
+    record_lock = threading.Lock()
+    errors = []
+
+    def client(share):
+        try:
+            for probe in share:
+                response = service.solve(
+                    SolveRequest(problem=probe, strategy="cov")
+                )
+                with record_lock:
+                    by_key[probe.key] = response
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(share,)) for share in shares
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed, by_key
+
+
+def _decision(response):
+    return (response.retrained, response.new_model)
+
+
+def run(sizes, n_probes):
+    results = {}
+    for size in sizes:
+        problems = _initial_problems(size)
+        probes = _probe_problems(n_probes)
+        row = {}
+
+        with MoRERService(
+            _fit(problems), max_batch_size=1, max_wait_ms=0,
+        ) as serialised:
+            elapsed, serial_by_key = _drive(serialised, probes)
+            row["serial_ms"] = 1e3 * elapsed / n_probes
+            row["serial_batches"] = serialised.counters[
+                "batches_dispatched"
+            ]
+
+        with MoRERService(
+            _fit(problems), max_batch_size=N_CLIENTS, max_wait_ms=25,
+        ) as batched:
+            elapsed, batch_by_key = _drive(batched, probes)
+            row["batched_ms"] = 1e3 * elapsed / n_probes
+            row["batches"] = batched.counters["batches_dispatched"]
+            row["max_coalesced"] = batched.counters["max_coalesced"]
+
+        row["speedup"] = row["serial_ms"] / row["batched_ms"]
+        # Client scheduling makes arrival order nondeterministic, so a
+        # borderline probe may legitimately land in a neighbouring
+        # cluster depending on which tick-mates were integrated first.
+        # The reuse/retrain decision must agree per key regardless;
+        # cluster agreement is reported (and floored) separately, and
+        # predictions must be byte-identical wherever the serving
+        # cluster agrees (same entry, untouched model).
+        row["decisions_match"] = all(
+            _decision(serial_by_key[key]) == _decision(batch_by_key[key])
+            for key in serial_by_key
+        )
+        agreeing = [
+            key for key in serial_by_key
+            if serial_by_key[key].cluster_id == batch_by_key[key].cluster_id
+        ]
+        row["cluster_agreement"] = len(agreeing) / len(serial_by_key)
+        row["predictions_match"] = all(
+            np.array_equal(
+                serial_by_key[key].predictions,
+                batch_by_key[key].predictions,
+            )
+            for key in agreeing
+        )
+        results[size] = row
+    return results
+
+
+def _print(results, n_probes):
+    print()
+    print(
+        f"{'#Problems':>10} {'Serial (ms)':>12} {'Batched (ms)':>13} "
+        f"{'Speedup':>8} {'Ticks':>6} {'MaxCoal':>8} {'Match':>6} "
+        f"{'ClAgr':>6}   ({N_CLIENTS} clients, {n_probes} cov probes)"
+    )
+    for size, row in results.items():
+        match = row["decisions_match"] and row["predictions_match"]
+        print(
+            f"{size:>10} {row['serial_ms']:>12.1f} "
+            f"{row['batched_ms']:>13.2f} {row['speedup']:>7.1f}x "
+            f"{row['batches']:>6} {row['max_coalesced']:>8} "
+            f"{str(match):>6} {row['cluster_agreement']:>6.2f}"
+        )
+
+
+def test_service_throughput_scale(benchmark, smoke):
+    sizes = (150,) if smoke else (400, 800)
+    n_probes = 32 if smoke else 64
+
+    results = benchmark.pedantic(
+        run, args=(sizes, n_probes), rounds=1, iterations=1,
+    )
+    _print(results, n_probes)
+
+    for size, row in results.items():
+        assert row["decisions_match"], size
+        assert row["predictions_match"], size
+        assert row["cluster_agreement"] >= 0.9, (size, row)
+        # One serialised tick per probe; real coalescing in the batched
+        # arm (16 in-flight clients must land together at least once).
+        assert row["serial_batches"] == n_probes, (size, row)
+        assert row["batches"] < n_probes, (size, row)
+        assert row["max_coalesced"] >= 4, (size, row)
+        # The acceptance bar: ≥ 2× over lock-serialised solving at 16
+        # concurrent cov clients on the 800-problem repository. Smoke
+        # compares the two arms on a tiny graph where a tick costs
+        # single-digit ms, so its floor only guards against batching
+        # becoming an outright slowdown on a noisy shared runner.
+        floor = 2.0 if size >= 800 else (1.2 if size >= 400 else 0.8)
+        assert row["speedup"] > floor, (size, row)
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced-size CI mode")
+    args = parser.parse_args()
+    sizes = (150,) if args.smoke else (400, 800)
+    n_probes = 32 if args.smoke else 64
+    outcome = run(sizes, n_probes)
+    _print(outcome, n_probes)

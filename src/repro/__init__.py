@@ -8,6 +8,10 @@ Public API highlights
 - :class:`repro.MoRER` / :class:`repro.MoRERConfig` — fit a repository
   on solved ER problems, solve new ones via ``sel_base`` / ``sel_cov``.
 - :class:`repro.ERProblem` — similarity feature vectors of a source pair.
+- :mod:`repro.service` — the serving layer: typed requests,
+  :class:`~repro.service.MoRERService` (read-write-locked façade with
+  a micro-batching ``sel_cov`` scheduler), an HTTP gateway
+  (``python -m repro serve``) and :class:`~repro.service.ServiceClient`.
 - :func:`repro.datasets.load_benchmark` — the three evaluation corpora.
 - :mod:`repro.baselines` — Almser, Bootstrap AL, TransER, Ditto,
   Unicorn, Sudowoodo, AnyMatch, ZeroER.
@@ -20,10 +24,11 @@ from .core import (
     ModelRepository,
     MoRER,
     MoRERConfig,
+    NotFittedError,
     SolveResult,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MoRER",
@@ -33,5 +38,6 @@ __all__ = [
     "ModelRepository",
     "SolveResult",
     "CountingOracle",
+    "NotFittedError",
     "__version__",
 ]

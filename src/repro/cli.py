@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro <experiment>``.
+"""Command-line entry point: ``python -m repro <experiment|serve>``.
 
 Regenerates any table or figure of the paper's evaluation from the
 terminal, e.g.::
@@ -6,6 +6,11 @@ terminal, e.g.::
     python -m repro table2
     python -m repro table4 --scale 0.2 --no-lm
     python -m repro fig6 --scale 0.15
+
+or serves a repository over HTTP (see :mod:`repro.service`)::
+
+    python -m repro serve --store runs/morer_store --port 8640
+    python -m repro serve --demo 24        # synthetic fixture repository
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import argparse
 __all__ = ["main", "build_parser"]
 
 _EXPERIMENTS = ("table2", "table4", "table5", "fig2", "fig5", "fig6", "fig7")
+_COMMANDS = _EXPERIMENTS + ("serve",)
 
 
 def build_parser():
@@ -23,12 +29,13 @@ def build_parser():
         prog="repro",
         description=(
             "Regenerate the MoRER paper's tables and figures on the "
-            "scaled-down synthetic corpora."
+            "scaled-down synthetic corpora, or serve a repository over "
+            "HTTP."
         ),
     )
     parser.add_argument(
-        "experiment", choices=_EXPERIMENTS,
-        help="which table/figure to regenerate",
+        "experiment", choices=_COMMANDS,
+        help="which table/figure to regenerate, or 'serve'",
     )
     parser.add_argument(
         "--scale", type=float, default=0.25,
@@ -46,12 +53,93 @@ def build_parser():
             "chunk); applies to fig7"
         ),
     )
+    gateway = parser.add_argument_group(
+        "serve", "options for the 'serve' command"
+    )
+    gateway.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="serve a MoRER.save directory (loaded at startup)",
+    )
+    gateway.add_argument(
+        "--demo", type=int, default=None, metavar="N", nargs="?", const=24,
+        help=(
+            "serve a synthetic fixture repository fitted on N problems "
+            "(default 24) instead of a saved store"
+        ),
+    )
+    gateway.add_argument(
+        "--host", default="127.0.0.1", help="gateway bind host",
+    )
+    gateway.add_argument(
+        "--port", type=int, default=8640, help="gateway bind port",
+    )
+    gateway.add_argument(
+        "--max-batch-size", type=int, default=None, metavar="N",
+        help="override MoRERConfig.service_max_batch_size",
+    )
+    gateway.add_argument(
+        "--max-wait-ms", type=float, default=None, metavar="MS",
+        help="override MoRERConfig.service_max_wait_ms",
+    )
+    gateway.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="override MoRERConfig.service_max_queue_depth",
+    )
+    gateway.add_argument(
+        "--log-requests", action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
     return parser
+
+
+def _serve(args):
+    """The ``repro serve`` command: load/fit, wrap, serve forever."""
+    from .core import MoRER
+    from .service import MoRERService, ServiceHTTPServer
+    from .service.fixtures import demo_morer
+
+    if args.store is not None and args.demo is not None:
+        raise SystemExit("--store and --demo are mutually exclusive")
+    if args.store is not None:
+        morer = MoRER.load(args.store)
+        origin = f"store {args.store}"
+    elif args.demo is not None:
+        morer = demo_morer(args.demo)
+        origin = f"demo fixture ({args.demo} problems)"
+    else:
+        raise SystemExit("serve needs --store DIR or --demo [N]")
+    service = MoRERService(
+        morer,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.max_queue_depth,
+    )
+    server = ServiceHTTPServer(
+        service, (args.host, args.port), log_requests=args.log_requests
+    )
+    print(
+        f"serving {origin}: {len(morer.repository)} entries at "
+        f"{server.url} (max_batch_size={service.max_batch_size}, "
+        f"max_wait_ms={service.max_wait_ms:g}, "
+        f"max_queue_depth={service.max_queue_depth})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return server
 
 
 def main(argv=None):
     """Dispatch to the experiment drivers; returns their result object."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "serve":
+        return _serve(args)
     from . import experiments
 
     if args.experiment == "table2":

@@ -1,7 +1,13 @@
 """MoRER core: problems, distribution analysis, graph, budget, repository."""
 
 from .budget import BudgetError, distribute_budget, merge_singletons
-from .config import CLASSIFIERS, MoRERConfig, make_classifier
+from .config import (
+    CLASSIFIERS,
+    CONFIG_FIELDS,
+    MoRERConfig,
+    check_config_overrides,
+    make_classifier,
+)
 from .distribution import (
     DISTRIBUTION_TESTS,
     ClassifierTwoSampleTest,
@@ -19,7 +25,7 @@ from .maintenance import (
     repository_health,
     silhouette_scores,
 )
-from .morer import CountingOracle, MoRER, PERSISTENCE_FORMAT
+from .morer import CountingOracle, MoRER, NotFittedError, PERSISTENCE_FORMAT
 from .partition_state import PartitionState
 from .problem import ERProblem
 from .repository import ClusterEntry, ModelRepository
@@ -74,7 +80,10 @@ __all__ = [
     "merge_singletons",
     "BudgetError",
     "CLASSIFIERS",
+    "CONFIG_FIELDS",
+    "check_config_overrides",
     "make_classifier",
+    "NotFittedError",
     "silhouette_scores",
     "cluster_conductance",
     "adjusted_rand_index",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from ..ml.forest import RandomForestClassifier
 from ..ml.linear import LogisticRegression
@@ -12,6 +12,8 @@ __all__ = [
     "MoRERConfig",
     "make_classifier",
     "check_index_settings",
+    "check_config_overrides",
+    "CONFIG_FIELDS",
     "CLASSIFIERS",
     "DEFAULT_INDEX_THRESHOLD",
 ]
@@ -127,6 +129,24 @@ class MoRERConfig:
         insertion is compared (and connected) to once the graph
         prefilter engages; 0 means the per-insert default
         ``max(64, 4 * sqrt(problems))``.
+    service_max_batch_size : int
+        Micro-batching ceiling of
+        :class:`~repro.service.MoRERService`: how many concurrently
+        submitted ``sel_cov`` requests the background scheduler may
+        coalesce into one :meth:`MoRER.solve_batch` call per tick.
+        ``1`` disables coalescing (every request becomes its own
+        lock-serialised solve).
+    service_max_wait_ms : float
+        How long (milliseconds) the service scheduler holds a
+        non-full tick open for more ``sel_cov`` requests to coalesce
+        before dispatching. Latency floor vs throughput knob: ``0``
+        dispatches whatever is queued immediately.
+    service_max_queue_depth : int
+        Bounded admission queue of the service scheduler: when this
+        many ``sel_cov`` requests are already queued (not yet
+        dispatched), further submissions fail fast with
+        :class:`~repro.service.Overloaded` instead of growing the
+        backlog without bound.
     random_state : int
         Master seed.
     """
@@ -154,6 +174,9 @@ class MoRERConfig:
     recluster_tolerance: float = 0.05
     full_recluster_every: int = 50
     graph_candidates: int = 0
+    service_max_batch_size: int = 16
+    service_max_wait_ms: float = 2.0
+    service_max_queue_depth: int = 256
     random_state: int = 0
 
     def __post_init__(self):
@@ -184,6 +207,12 @@ class MoRERConfig:
             raise ValueError("full_recluster_every must be >= 1")
         if self.graph_candidates < 0:
             raise ValueError("graph_candidates must be >= 0")
+        if self.service_max_batch_size < 1:
+            raise ValueError("service_max_batch_size must be >= 1")
+        if self.service_max_wait_ms < 0:
+            raise ValueError("service_max_wait_ms must be >= 0")
+        if self.service_max_queue_depth < 1:
+            raise ValueError("service_max_queue_depth must be >= 1")
 
     def to_dict(self):
         """Plain-dict form (JSON-safe) for repository manifests."""
@@ -193,3 +222,39 @@ class MoRERConfig:
     def from_dict(cls, data):
         """Rebuild from :meth:`to_dict` output."""
         return cls(**data)
+
+
+#: Every settable :class:`MoRERConfig` field, in declaration order —
+#: the vocabulary that :func:`check_config_overrides` accepts.
+CONFIG_FIELDS = tuple(f.name for f in fields(MoRERConfig))
+
+
+def check_config_overrides(overrides):
+    """Reject override keys that name no :class:`MoRERConfig` field.
+
+    Guards every keyword path into a config — ``MoRERConfig(...)``,
+    ``MoRER(**overrides)``, ``dataclasses.replace`` and
+    :meth:`MoRERConfig.from_dict` — so a typo fails with an error that
+    names the valid fields instead of an opaque ``TypeError`` (or,
+    worse, a silently ignored knob).
+    """
+    unknown = sorted(set(overrides) - set(CONFIG_FIELDS))
+    if unknown:
+        raise ValueError(
+            "unknown MoRERConfig field(s) "
+            + ", ".join(repr(name) for name in unknown)
+            + "; valid fields: " + ", ".join(CONFIG_FIELDS)
+        )
+
+
+_generated_config_init = MoRERConfig.__init__
+
+
+def _checked_config_init(self, *args, **kwargs):
+    check_config_overrides(kwargs)
+    _generated_config_init(self, *args, **kwargs)
+
+
+_checked_config_init.__doc__ = _generated_config_init.__doc__
+_checked_config_init.__wrapped__ = _generated_config_init
+MoRERConfig.__init__ = _checked_config_init

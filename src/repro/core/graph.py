@@ -194,6 +194,11 @@ class ERProblemGraph:
         self._pair_witness = {}
         self._sketch_index = SketchIndex(n_bins=sketch_bins)
         self._index_pending = set()
+        # Registered journal consumers (token -> cursor). Process-local
+        # and never persisted: every consumer must re-register after a
+        # restore. trim_journal() never reclaims past the slowest one.
+        self._consumers = {}
+        self._next_consumer_token = 0
 
     # -- construction ------------------------------------------------------
 
@@ -414,6 +419,11 @@ class ERProblemGraph:
         """Monotonic mutation count (inserts + removals ever applied)."""
         return self._journal_offset + len(self._journal)
 
+    @property
+    def journal_length(self):
+        """Retained (not yet trimmed) journal entries."""
+        return len(self._journal)
+
     def can_replay(self, cursor):
         """Whether every mutation after ``cursor`` is still journaled."""
         return self._journal_offset <= cursor <= self.version
@@ -427,12 +437,71 @@ class ERProblemGraph:
         return self._journal[cursor - self._journal_offset:]
 
     def trim_journal(self, cursor):
-        """Reclaim entries at versions ``<= cursor`` (consumed by every
-        interested partition cache)."""
-        cut = min(cursor, self.version) - self._journal_offset
+        """Reclaim entries every consumer has seen.
+
+        ``cursor`` is the *caller's* own position; the effective
+        compaction watermark is the minimum of it and every registered
+        consumer's cursor (:meth:`register_consumer`), so independent
+        consumers — the live partition cache, a background saver, a
+        future replication shard — can trail the stream at their own
+        pace without losing entries to each other's trims.
+        """
+        watermark = min([int(cursor), *self._consumers.values()])
+        cut = min(watermark, self.version) - self._journal_offset
         if cut > 0:
             del self._journal[:cut]
             self._journal_offset += cut
+
+    def register_consumer(self, cursor=None):
+        """Register a journal consumer at ``cursor`` (default: now).
+
+        Returns an opaque token for :meth:`advance_consumer` /
+        :meth:`unregister_consumer`. While registered, the consumer's
+        cursor bounds :meth:`trim_journal`'s compaction watermark, so
+        entries it has not replayed yet survive other consumers'
+        trims. Registrations are process-local — they are not part of
+        :meth:`export_state` and must be re-established after
+        :meth:`restore_state`.
+        """
+        if cursor is None:
+            cursor = self.version
+        cursor = int(cursor)
+        if not self._journal_offset <= cursor <= self.version:
+            raise ValueError(
+                f"consumer cursor {cursor} is outside the retained "
+                f"journal [{self._journal_offset}, {self.version}]"
+            )
+        token = self._next_consumer_token
+        self._next_consumer_token += 1
+        self._consumers[token] = cursor
+        return token
+
+    def advance_consumer(self, token, cursor=None):
+        """Move a registered consumer's cursor forward (default: to the
+        current :attr:`version` — "caught up")."""
+        if token not in self._consumers:
+            raise KeyError(f"unknown journal consumer token {token!r}")
+        if cursor is None:
+            cursor = self.version
+        cursor = int(cursor)
+        if cursor < self._consumers[token]:
+            raise ValueError(
+                f"consumer cursor may only advance "
+                f"({self._consumers[token]} -> {cursor})"
+            )
+        if cursor > self.version:
+            raise ValueError(
+                f"consumer cursor {cursor} is past version {self.version}"
+            )
+        self._consumers[token] = cursor
+
+    def consumer_cursor(self, token):
+        """The registered cursor of a consumer token."""
+        return self._consumers[token]
+
+    def unregister_consumer(self, token):
+        """Drop a consumer; its cursor no longer bounds compaction."""
+        self._consumers.pop(token, None)
 
     # -- sketch prefilter --------------------------------------------------
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..ml.utils import check_random_state
+from .morer import NotFittedError
 
 __all__ = [
     "silhouette_scores",
@@ -158,7 +159,7 @@ def repository_health(morer, n_runs=3):
     §7 monitoring signal for when to retrain.
     """
     if morer.repository is None or morer.clusters_ is None:
-        raise RuntimeError("MoRER is not fitted")
+        raise NotFittedError("MoRER is not fitted")
     graph = morer.problem_graph
     silhouettes = silhouette_scores(graph, morer.clusters_)
     stability = perturbation_stability(

@@ -49,6 +49,7 @@ journal), partition state and RNG stream — versioned under
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -73,13 +74,24 @@ from .selection import (
     select_cov,
 )
 
-__all__ = ["MoRER", "CountingOracle", "PERSISTENCE_FORMAT"]
+__all__ = [
+    "MoRER", "CountingOracle", "NotFittedError", "PERSISTENCE_FORMAT",
+]
 
 #: On-disk layout version written by :meth:`MoRER.save`. Bump on any
 #: incompatible change to ``morer.json`` / ``graph.npz`` / the
 #: repository directory; :meth:`MoRER.load` refuses unknown versions
 #: loudly rather than deserialising garbage.
 PERSISTENCE_FORMAT = 1
+
+
+class NotFittedError(RuntimeError):
+    """Solve/save was called before :meth:`MoRER.fit` (or ``load``).
+
+    Subclasses :class:`RuntimeError` so pre-existing ``except
+    RuntimeError`` callers keep working; the service layer maps it to
+    :class:`repro.service.NotFitted` at the typed boundary.
+    """
 
 
 class CountingOracle:
@@ -148,6 +160,11 @@ class MoRER:
             "training": 0.0,      # classifier fits
             "search": 0.0,        # repository search (sel_base)
         }
+        # float += is a read-modify-write: concurrent sel_base solves
+        # (repro.service shares them on a read lock) must not lose each
+        # other's updates, so every accumulation goes through
+        # _add_timing under this lock.
+        self._timing_lock = threading.Lock()
 
     # -- construction (Fig. 3 steps 1-3) -------------------------------------
 
@@ -180,7 +197,7 @@ class MoRER:
             index_threshold=self.config.index_threshold,
             n_candidates=self.config.graph_candidates,
         )
-        self.timings["analysis"] += time.perf_counter() - started
+        self._add_timing("analysis", time.perf_counter() - started)
         self._invalidate_cluster_cache()
 
         clusters = self._timed_cluster()
@@ -226,14 +243,14 @@ class MoRER:
                 record_cluster_counts=record_cluster_counts,
                 n_clusters=n_clusters,
             )
-            self.timings["al_selection"] += time.perf_counter() - started
+            self._add_timing("al_selection", time.perf_counter() - started)
         model = make_classifier(
             self.config.classifier,
             int(self._rng.integers(0, 2**31 - 1)),
         )
         started = time.perf_counter()
         model.fit(features[train_idx], train_labels)
-        self.timings["training"] += time.perf_counter() - started
+        self._add_timing("training", time.perf_counter() - started)
         return self.repository.add_entry(
             cluster, model, features[train_idx], train_labels,
             labels_spent=oracle.count, trained_keys=cluster,
@@ -318,13 +335,13 @@ class MoRER:
         SolveResult
         """
         if self.repository is None:
-            raise RuntimeError("MoRER is not fitted; call fit() first")
+            raise NotFittedError("MoRER is not fitted; call fit() first")
         strategy = strategy or self.config.selection
         if strategy == "base":
             started = time.perf_counter()
             result = select_base(self, problem)
             elapsed = time.perf_counter() - started
-            self.timings["search"] += elapsed
+            self._add_timing("search", elapsed)
             result.overhead_seconds = elapsed
             return result
         if strategy == "cov":
@@ -371,7 +388,7 @@ class MoRER:
         """
         problems = list(problems)
         if self.repository is None:
-            raise RuntimeError("MoRER is not fitted; call fit() first")
+            raise NotFittedError("MoRER is not fitted; call fit() first")
         if not problems:
             return []
         strategy = strategy or self.config.selection
@@ -420,15 +437,20 @@ class MoRER:
 
     # -- sel_cov internals (called from selection.py) ----------------------------
 
+    def _add_timing(self, key, seconds):
+        """Thread-safe accumulation into :attr:`timings`."""
+        with self._timing_lock:
+            self.timings[key] += seconds
+
     def _timed_add_problem(self, problem):
         started = time.perf_counter()
         self.problem_graph.add_problem(problem)
-        self.timings["analysis"] += time.perf_counter() - started
+        self._add_timing("analysis", time.perf_counter() - started)
 
     def _timed_add_problems(self, problems):
         started = time.perf_counter()
         self.problem_graph.add_problems(problems)
-        self.timings["analysis"] += time.perf_counter() - started
+        self._add_timing("analysis", time.perf_counter() - started)
 
     def _invalidate_cluster_cache(self):
         """Forget the warm partition; the next solve reclusters fully."""
@@ -511,7 +533,7 @@ class MoRER:
             graph.version if self._partition is None
             else self._partition.cursor
         )
-        self.timings["clustering"] += time.perf_counter() - started
+        self._add_timing("clustering", time.perf_counter() - started)
         self.clusters_ = clusters
         return clusters
 
@@ -542,13 +564,13 @@ class MoRER:
             features, counting, budget, pair_ids=pair_ids,
             record_cluster_counts={}, n_clusters=max(len(self.clusters_), 1),
         )
-        self.timings["al_selection"] += time.perf_counter() - started
+        self._add_timing("al_selection", time.perf_counter() - started)
         model = make_classifier(
             self.config.classifier, int(self._rng.integers(0, 2**31 - 1))
         )
         started = time.perf_counter()
         model.fit(features[train_idx], train_labels)
-        self.timings["training"] += time.perf_counter() - started
+        self._add_timing("training", time.perf_counter() - started)
         spent = counting.count if isinstance(counting, CountingOracle) else 0
         cluster_id = self.repository.add_entry(
             cluster, model, features[train_idx], train_labels,
@@ -584,7 +606,7 @@ class MoRER:
             record_cluster_counts={},
             n_clusters=max(len(self.clusters_ or ()), 1),
         )
-        self.timings["al_selection"] += time.perf_counter() - started
+        self._add_timing("al_selection", time.perf_counter() - started)
         new_features = np.vstack(
             [entry.training_features, features[train_idx]]
         )
@@ -594,7 +616,7 @@ class MoRER:
         )
         started = time.perf_counter()
         model.fit(new_features, new_labels)
-        self.timings["training"] += time.perf_counter() - started
+        self._add_timing("training", time.perf_counter() - started)
         spent = counting.count if isinstance(counting, CountingOracle) else 0
         entry.model = model
         entry.training_features = new_features
@@ -631,7 +653,7 @@ class MoRER:
         seeds the pre-save instance would have.
         """
         if self.repository is None:
-            raise RuntimeError("MoRER is not fitted; call fit() first")
+            raise NotFittedError("MoRER is not fitted; call fit() first")
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         self.repository.save(path / "repository")
@@ -697,8 +719,9 @@ class MoRER:
 
     def overhead_seconds(self):
         """Time spent on analysis + clustering + search (Fig. 5 overlay)."""
-        return (
-            self.timings["analysis"]
-            + self.timings["clustering"]
-            + self.timings["search"]
-        )
+        with self._timing_lock:
+            return (
+                self.timings["analysis"]
+                + self.timings["clustering"]
+                + self.timings["search"]
+            )

@@ -274,6 +274,34 @@ class ModelRepository:
                 )
             self._index_pending.discard(cluster_id)
 
+    def prepare_search(self):
+        """Flush every lazy search cache so :meth:`search` is read-only.
+
+        Precomputes each entry's signature and, when searches resolve
+        to the indexed path, syncs the sketch matrix. Called by the
+        serving layer (:class:`repro.service.MoRERService`) under its
+        write lock after any mutation (fit, retraining, load), so that
+        concurrent ``sel_base`` searches on the shared read lock find
+        nothing pending and never race on cache construction. Entries
+        whose representatives fall outside the signature domain are
+        left for the naive per-search fallback, exactly as before.
+        """
+        if not self.use_signatures:
+            return
+        all_ready = True
+        for entry in self.entries.values():
+            try:
+                self._entry_signature(entry)
+            except ValueError:
+                # This entry stays on the naive fallback; keep flushing
+                # the rest rather than aborting the whole pass.
+                all_ready = False
+        if all_ready and self._resolve_use_index(None):
+            try:
+                self._sync_sketch_index()
+            except ValueError:
+                pass
+
     def _score_signatures(self, problem, features, use_index,
                           n_candidates, top_k):
         """``(similarity, entry)`` pairs via the signature kernels, or

@@ -51,6 +51,7 @@ the offset trick (see :meth:`ProblemSignature.histogram`).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -245,6 +246,10 @@ class SignatureStore:
             raise ValueError("SignatureStore needs max_size >= 1")
         self.max_size = int(max_size)
         self._data = OrderedDict()
+        # LRU bookkeeping (move_to_end / popitem) is a multi-step
+        # mutation, so concurrent readers — repro.service shares
+        # sel_base searches on a read lock — serialise on this lock.
+        self._lock = threading.Lock()
         #: How many signatures this store has *constructed* (cache
         #: misses); seeded signatures (:meth:`put`) don't count, so the
         #: persistence tests can assert a loaded store rebuilds nothing.
@@ -252,39 +257,53 @@ class SignatureStore:
 
     def signature(self, key, features):
         """Cached signature for ``key``, recomputed if ``features`` changed."""
-        cached = self._data.get(key)
-        if cached is not None and cached.features is features:
-            self._data.move_to_end(key)
-            return cached
+        with self._lock:
+            cached = self._data.get(key)
+            if cached is not None and cached.features is features:
+                self._data.move_to_end(key)
+                return cached
+        # Construct outside the lock: a signature build is the
+        # expensive part, and concurrent sel_base probes must not
+        # serialise on each other's cold misses. A racing duplicate
+        # build is harmless — the recheck below keeps one winner.
         signature = ProblemSignature(features)
-        self.builds += 1
-        self._data[key] = signature
-        self._data.move_to_end(key)
-        while len(self._data) > self.max_size:
-            self._data.popitem(last=False)
-        return signature
+        with self._lock:
+            cached = self._data.get(key)
+            if cached is not None and cached.features is features:
+                self._data.move_to_end(key)
+                return cached
+            self.builds += 1
+            self._data[key] = signature
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_size:
+                self._data.popitem(last=False)
+            return signature
 
     def put(self, key, signature):
         """Seed the cache with a pre-built signature (persistence
         restore); does not count towards :attr:`builds`."""
-        self._data[key] = signature
-        self._data.move_to_end(key)
-        while len(self._data) > self.max_size:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = signature
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_size:
+                self._data.popitem(last=False)
 
     def get(self, key):
         """Cached signature or ``None`` (counts as a use for LRU)."""
-        cached = self._data.get(key)
-        if cached is not None:
-            self._data.move_to_end(key)
-        return cached
+        with self._lock:
+            cached = self._data.get(key)
+            if cached is not None:
+                self._data.move_to_end(key)
+            return cached
 
     def invalidate(self, key):
         """Drop ``key``; returns whether it was cached."""
-        return self._data.pop(key, None) is not None
+        with self._lock:
+            return self._data.pop(key, None) is not None
 
     def clear(self):
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self):
         return len(self._data)

@@ -1,0 +1,49 @@
+"""The MoRER serving layer: typed API, micro-batched solves, HTTP.
+
+``repro.service`` turns a single-threaded :class:`~repro.core.MoRER`
+into something that serves concurrent traffic:
+
+- :mod:`~repro.service.types` — ``SolveRequest`` / ``SolveResponse`` /
+  ``FitRequest`` / ``RepositoryStats``, each JSON-(de)serialisable;
+- :mod:`~repro.service.errors` — the explicit failure vocabulary
+  (``NotFitted``, ``InvalidRequest``, ``Overloaded``);
+- :mod:`~repro.service.service` — :class:`MoRERService`, a read-write-
+  locked façade whose background scheduler coalesces concurrent
+  ``sel_cov`` requests into one :meth:`MoRER.solve_batch` per tick;
+- :mod:`~repro.service.http` — a stdlib HTTP/JSON gateway
+  (``repro serve`` from the CLI);
+- :mod:`~repro.service.client` — :class:`ServiceClient`, the same
+  typed API over the wire.
+"""
+
+from .client import ServiceClient
+from .errors import InvalidRequest, NotFitted, Overloaded, ServiceError
+from .http import ServiceHTTPServer, serve
+from .rwlock import ReadWriteLock
+from .service import MoRERService
+from .types import (
+    FitRequest,
+    RepositoryStats,
+    SolveRequest,
+    SolveResponse,
+    problem_from_dict,
+    problem_to_dict,
+)
+
+__all__ = [
+    "MoRERService",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "serve",
+    "ReadWriteLock",
+    "SolveRequest",
+    "SolveResponse",
+    "FitRequest",
+    "RepositoryStats",
+    "problem_to_dict",
+    "problem_from_dict",
+    "ServiceError",
+    "NotFitted",
+    "InvalidRequest",
+    "Overloaded",
+]

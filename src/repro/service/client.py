@@ -1,0 +1,161 @@
+"""`ServiceClient`: the typed serving API over HTTP.
+
+A stdlib (``urllib``) client for the gateway in
+:mod:`repro.service.http`, returning the same dataclasses the
+in-process :class:`~repro.service.MoRERService` does and re-raising the
+same typed errors (:class:`~repro.service.NotFitted`,
+:class:`~repro.service.InvalidRequest`,
+:class:`~repro.service.Overloaded`) the server reported — remote and
+in-process callers are written identically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..core.problem import ERProblem
+from .errors import ServiceError, error_for_code
+from .types import (
+    FitRequest,
+    RepositoryStats,
+    SolveRequest,
+    SolveResponse,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Typed client for a ``repro serve`` gateway.
+
+    Parameters
+    ----------
+    base_url : str
+        e.g. ``"http://127.0.0.1:8640"`` (a :attr:`ServiceHTTPServer.url`).
+    timeout : float
+        Per-request socket timeout in seconds. ``sel_cov`` solves block
+        server-side until their micro-batch tick completes, so keep
+        this comfortably above ``service_max_wait_ms``.
+    """
+
+    def __init__(self, base_url, timeout=60.0):
+        self.base_url = str(base_url).rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method, path, payload=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                error = json.loads(detail.decode("utf-8"))["error"]
+                raise error_for_code(
+                    error.get("code"), error.get("message", "")
+                ) from None
+            except (ValueError, KeyError, AttributeError):
+                raise ServiceError(
+                    f"HTTP {exc.code} from {path}: {detail[:200]!r}"
+                ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}{path}: {exc.reason}"
+            ) from None
+
+    # -- API ---------------------------------------------------------------
+
+    def healthz(self):
+        """``{"status", "fitted", "queue_depth"}`` from the gateway."""
+        return self._request("GET", "/healthz")
+
+    def wait_ready(self, timeout=10.0, interval=0.1):
+        """Poll ``/healthz`` until the gateway answers (startup gate).
+
+        Returns the first health payload; raises
+        :class:`~repro.service.ServiceError` after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    def stats(self):
+        """Server-side :class:`~repro.service.RepositoryStats`."""
+        return RepositoryStats.from_dict(self._request("GET", "/stats"))
+
+    def solve(self, request, strategy=None):
+        """Solve one problem; returns a
+        :class:`~repro.service.SolveResponse`.
+
+        ``request`` may be a :class:`~repro.service.SolveRequest` or a
+        bare :class:`~repro.core.ERProblem` (with an optional
+        ``strategy`` override).
+        """
+        request = self._coerce(request, strategy)
+        return SolveResponse.from_dict(
+            self._request("POST", "/solve", request.to_dict())
+        )
+
+    def solve_batch(self, requests, strategy=None):
+        """Solve several problems in one round trip (the gateway
+        enqueues all of them before blocking, so they coalesce into
+        the scheduler's micro-batches)."""
+        payload = {
+            "requests": [
+                self._coerce(request, strategy).to_dict()
+                for request in requests
+            ]
+        }
+        reply = self._request("POST", "/solve_batch", payload)
+        return [
+            SolveResponse.from_dict(result) for result in reply["results"]
+        ]
+
+    def fit(self, problems):
+        """Fit the served repository on labelled problems; returns the
+        post-fit stats."""
+        request = (
+            problems if isinstance(problems, FitRequest)
+            else FitRequest(problems=list(problems))
+        )
+        return RepositoryStats.from_dict(
+            self._request("POST", "/fit", request.to_dict())
+        )
+
+    def save(self, path):
+        """Ask the server to persist its session to a *server-side*
+        directory; returns the acknowledged path."""
+        return self._request("POST", "/save", {"path": str(path)})["saved"]
+
+    def _coerce(self, request, strategy):
+        if isinstance(request, SolveRequest):
+            if strategy is not None:
+                return SolveRequest(
+                    problem=request.problem, strategy=strategy
+                )
+            return request
+        if isinstance(request, ERProblem):
+            return SolveRequest(problem=request, strategy=strategy)
+        raise ServiceError(
+            "solve expects a SolveRequest or an ERProblem, got "
+            f"{type(request).__name__}"
+        )

@@ -1,0 +1,72 @@
+"""Service-level errors: the failure vocabulary of the typed boundary.
+
+Core MoRER raises Python-idiomatic exceptions (``ValueError`` for bad
+arguments, :class:`~repro.core.NotFittedError` for lifecycle misuse).
+At the service boundary those become three explicit, client-meaningful
+conditions — each with a stable machine-readable ``code`` and an HTTP
+status the gateway maps to — instead of leaking implementation
+exception types to remote callers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "NotFitted",
+    "InvalidRequest",
+    "Overloaded",
+    "error_for_code",
+]
+
+
+class ServiceError(Exception):
+    """Base class of every error the service API raises on purpose.
+
+    Attributes
+    ----------
+    code : str
+        Stable machine-readable identifier, serialised over the wire.
+    http_status : int
+        Status the HTTP gateway answers with.
+    """
+
+    code = "service_error"
+    http_status = 500
+
+    def to_dict(self):
+        """JSON-safe ``{"code", "message"}`` form for the gateway."""
+        return {"code": self.code, "message": str(self)}
+
+
+class NotFitted(ServiceError):
+    """The repository has no models yet — fit (or load) first."""
+
+    code = "not_fitted"
+    http_status = 409
+
+
+class InvalidRequest(ServiceError):
+    """The request payload is malformed or semantically invalid."""
+
+    code = "invalid_request"
+    http_status = 400
+
+
+class Overloaded(ServiceError):
+    """The micro-batching queue is full; retry with backoff."""
+
+    code = "overloaded"
+    http_status = 429
+
+
+#: code -> exception class, used by the client to re-raise the exact
+#: typed error a remote gateway reported.
+_ERRORS_BY_CODE = {
+    cls.code: cls for cls in (ServiceError, NotFitted, InvalidRequest,
+                              Overloaded)
+}
+
+
+def error_for_code(code, message):
+    """Rebuild the typed error a gateway serialised (client side)."""
+    return _ERRORS_BY_CODE.get(code, ServiceError)(message)

@@ -1,0 +1,70 @@
+"""Synthetic fixture repositories for ``repro serve --demo``, CI smoke
+runs and the service walkthrough example.
+
+The problems mirror the benchmark generators: each regime shifts the
+match / non-match similarity distributions, so the fitted repository
+has real cluster structure for ``sel_base`` search and ``sel_cov``
+integration to exercise — without shipping a corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.morer import MoRER
+from ..core.problem import ERProblem
+
+__all__ = ["demo_problems", "demo_probes", "demo_morer"]
+
+N_FEATURES = 4
+N_SAMPLES = 40
+N_REGIMES = 3
+
+
+def _problem(rng, source_a, source_b, regime, n_regimes=N_REGIMES):
+    shift = 0.3 * regime / max(n_regimes - 1, 1)
+    n_matches = N_SAMPLES // 2
+    matches = np.clip(
+        rng.normal(0.82 - shift, 0.07, (n_matches, N_FEATURES)), 0, 1
+    )
+    non_matches = np.clip(
+        rng.normal(0.2 + shift, 0.08,
+                   (N_SAMPLES - n_matches, N_FEATURES)),
+        0, 1,
+    )
+    features = np.vstack([matches, non_matches])
+    labels = np.concatenate([
+        np.ones(n_matches, dtype=int),
+        np.zeros(N_SAMPLES - n_matches, dtype=int),
+    ])
+    order = rng.permutation(N_SAMPLES)
+    return ERProblem(source_a, source_b, features[order], labels[order])
+
+
+def demo_problems(n=24, seed=0):
+    """``n`` labelled problems across :data:`N_REGIMES` regimes."""
+    rng = np.random.default_rng(seed)
+    return [
+        _problem(rng, f"S{i}", f"T{i}", i % N_REGIMES) for i in range(n)
+    ]
+
+
+def demo_probes(n=8, seed=991):
+    """Fresh labelled probes (disjoint source pairs from the fit set)."""
+    rng = np.random.default_rng(seed)
+    return [
+        _problem(rng, f"X{i}", f"Y{i}", i % N_REGIMES) for i in range(n)
+    ]
+
+
+def demo_morer(n_problems=24, seed=0, **overrides):
+    """A small fitted MoRER (supervised logistic models — fast)."""
+    settings = dict(
+        selection="cov",
+        model_generation="supervised",
+        classifier="logistic_regression",
+        random_state=seed,
+    )
+    settings.update(overrides)
+    morer = MoRER(**settings)
+    return morer.fit(demo_problems(n_problems, seed=seed))

@@ -1,0 +1,177 @@
+"""A stdlib HTTP/JSON gateway in front of :class:`MoRERService`.
+
+One ``ThreadingHTTPServer`` (one OS thread per in-flight request — the
+service's read-write lock and micro-batching scheduler do the actual
+concurrency control) and a tiny JSON protocol:
+
+========  ==============  ====================================================
+method    path            body -> response
+========  ==============  ====================================================
+GET       ``/healthz``    — -> ``{"status", "fitted", "queue_depth"}``
+GET       ``/stats``      — -> :meth:`RepositoryStats.to_dict`
+POST      ``/solve``      :meth:`SolveRequest.to_dict` ->
+                          :meth:`SolveResponse.to_dict`
+POST      ``/solve_batch``  ``{"requests": [SolveRequest...]}`` ->
+                          ``{"results": [SolveResponse...]}``
+POST      ``/fit``        :meth:`FitRequest.to_dict` -> stats dict
+POST      ``/save``       ``{"path": str}`` -> ``{"saved": str}``
+========  ==============  ====================================================
+
+Typed service errors map to their ``http_status`` (400
+``invalid_request``, 409 ``not_fitted``, 429 ``overloaded``) with a
+``{"error": {"code", "message"}}`` body; anything unexpected is a 500.
+The gateway binds loopback by default and has no authentication —
+``/save`` writes server-side paths — so treat it like any other
+unauthenticated ops port: keep it private.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .errors import InvalidRequest, ServiceError
+from .service import MoRERService
+
+__all__ = ["ServiceHTTPServer", "serve"]
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`MoRERService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, service, address=("127.0.0.1", 8640),
+                 log_requests=False):
+        self.service = service
+        self.log_requests = log_requests
+        super().__init__(tuple(address), _GatewayHandler)
+
+    @property
+    def url(self):
+        """The ``http://host:port`` base clients should use."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "MoRERService"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.log_requests:
+            super().log_message(format, *args)
+
+    def _reply(self, status, payload):
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_error(self, error):
+        self._reply(error.http_status, {"error": error.to_dict()})
+
+    def _drain_body(self):
+        """Consume an unread request body so HTTP/1.1 keep-alive
+        connections stay in sync after an early (404) reply."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(length)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise InvalidRequest("request body must be a JSON object")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise InvalidRequest(f"request body is not valid JSON: {exc}")
+
+    def _handle(self, handler):
+        try:
+            self._reply(200, handler())
+        except ServiceError as error:
+            self._reply_error(error)
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._reply_error(ServiceError(f"internal error: {exc}"))
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self):
+        service = self.server.service
+        if self.path == "/healthz":
+            self._handle(service.healthz)
+        elif self.path == "/stats":
+            self._handle(lambda: service.stats().to_dict())
+        else:
+            self._drain_body()
+            self._reply(404, {"error": {
+                "code": "not_found", "message": f"no route {self.path}",
+            }})
+
+    def do_POST(self):
+        service = self.server.service
+        routes = {
+            "/solve": self._post_solve,
+            "/solve_batch": self._post_solve_batch,
+            "/fit": self._post_fit,
+            "/save": self._post_save,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._drain_body()
+            self._reply(404, {"error": {
+                "code": "not_found", "message": f"no route {self.path}",
+            }})
+            return
+        self._handle(lambda: handler(service))
+
+    def _post_solve(self, service):
+        return service.solve(self._read_json()).to_dict()
+
+    def _post_solve_batch(self, service):
+        payload = self._read_json()
+        requests = payload.get("requests")
+        if not isinstance(requests, list):
+            raise InvalidRequest(
+                "solve_batch body must be {\"requests\": [...]}"
+            )
+        responses = service.solve_batch(requests)
+        return {"results": [response.to_dict() for response in responses]}
+
+    def _post_fit(self, service):
+        return service.fit(self._read_json()).to_dict()
+
+    def _post_save(self, service):
+        payload = self._read_json()
+        path = payload.get("path")
+        if not isinstance(path, str) or not path:
+            raise InvalidRequest("save body must be {\"path\": str}")
+        service.save(path)
+        return {"saved": path}
+
+
+def serve(morer_or_service, host="127.0.0.1", port=8640, **service_kwargs):
+    """Build a gateway: ``serve(morer).serve_forever()``.
+
+    Accepts either a ready :class:`MoRERService` or a bare
+    :class:`~repro.core.MoRER` (wrapped with ``service_kwargs``).
+    Returns the :class:`ServiceHTTPServer`; the caller owns
+    ``serve_forever()`` / ``shutdown()`` — and should ``close()`` the
+    service afterwards when the gateway built it.
+    """
+    if isinstance(morer_or_service, MoRERService):
+        service = morer_or_service
+        if service_kwargs:
+            raise InvalidRequest(
+                "service_kwargs only apply when passing a bare MoRER"
+            )
+    else:
+        service = MoRERService(morer_or_service, **service_kwargs)
+    return ServiceHTTPServer(service, (host, port))

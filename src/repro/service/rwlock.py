@@ -1,0 +1,76 @@
+"""A write-preferring read-write lock for the serving façade.
+
+``sel_base`` solves are read-only against the repository (after
+:meth:`~repro.core.ModelRepository.prepare_search` flushed the lazy
+caches), so any number may run concurrently; ``sel_cov`` solves, fit
+and save mutate the graph/partition/repository and must run alone.
+Writer preference keeps a steady stream of cheap reads from starving
+the micro-batch scheduler: once a writer is waiting, new readers queue
+behind it.
+
+Not reentrant — a thread holding the read lock must not request the
+write lock (upgrade deadlock), and neither side may be re-acquired by
+its holder.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Many concurrent readers, one exclusive writer, writers first."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self):
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self):
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_lock(self):
+        """``with lock.read_lock():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_lock(self):
+        """``with lock.write_lock():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

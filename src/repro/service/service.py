@@ -1,0 +1,514 @@
+"""`MoRERService`: a concurrency-safe façade over one :class:`MoRER`.
+
+Concurrency contract
+--------------------
+A fitted MoRER is a single-threaded object; the service makes it
+servable by routing every operation through a write-preferring
+:class:`~repro.service.rwlock.ReadWriteLock`:
+
+* ``sel_base`` solves are read-only (the lazy search caches are flushed
+  with :meth:`~repro.core.ModelRepository.prepare_search` after every
+  mutation) and share the read lock — any number run concurrently;
+* ``sel_cov`` solves, :meth:`fit` and :meth:`save` mutate the graph,
+  partition state and repository, and serialise on the write lock.
+
+Micro-batching
+--------------
+``sel_cov`` requests are not executed by the calling thread. They are
+appended to a bounded queue (:class:`~repro.service.Overloaded` beyond
+``service_max_queue_depth``) and a single background scheduler thread
+coalesces whatever is queued — up to ``service_max_batch_size``
+requests, holding a non-full tick open ``service_max_wait_ms`` for
+stragglers — into **one** :meth:`MoRER.solve_batch` call per tick.
+That is exactly the amortisation :meth:`solve_batch` already provides
+(one sketch-prefiltered integration pass + one journal replay per
+batch), now triggered by concurrent client pressure instead of an
+explicit batch: N clients solving simultaneously pay one integration,
+and their decisions are byte-identical to a direct ``solve_batch`` of
+the same probes in arrival order. Each request carries a
+:class:`concurrent.futures.Future`; callers block on their own future
+only, so slow ticks never head-of-line block the read path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+from ..core.morer import MoRER, NotFittedError
+from ..core.problem import ERProblem
+from .errors import InvalidRequest, NotFitted, Overloaded, ServiceError
+from .rwlock import ReadWriteLock
+from .types import FitRequest, RepositoryStats, SolveRequest, SolveResponse
+
+__all__ = ["MoRERService"]
+
+
+class _PendingSolve:
+    """One queued ``sel_cov`` request and the future its caller holds."""
+
+    __slots__ = ("problem", "future")
+
+    def __init__(self, problem):
+        self.problem = problem
+        self.future = Future()
+
+
+class MoRERService:
+    """Serve one :class:`MoRER` to concurrent callers.
+
+    Parameters
+    ----------
+    morer : MoRER
+        The instance to serve — already fitted, or fitted later through
+        :meth:`fit`.
+    max_batch_size, max_wait_ms, max_queue_depth : optional
+        Per-service overrides of the ``service_*`` knobs in
+        :class:`~repro.core.MoRERConfig`.
+    retain_unsaved_journal : bool
+        Register a *saver* journal consumer on the problem graph so
+        mutation-journal entries newer than the last :meth:`save` are
+        never compacted away (the graph's min-cursor watermark keeps
+        them while the live partition cursor advances past them). Off
+        by default: without periodic saves the retained journal would
+        grow without bound.
+    """
+
+    def __init__(self, morer, max_batch_size=None, max_wait_ms=None,
+                 max_queue_depth=None, retain_unsaved_journal=False):
+        if not isinstance(morer, MoRER):
+            raise InvalidRequest(
+                f"MoRERService serves a MoRER, got {type(morer).__name__}"
+            )
+        config = morer.config
+        self.max_batch_size = int(
+            config.service_max_batch_size if max_batch_size is None
+            else max_batch_size
+        )
+        self.max_wait_ms = float(
+            config.service_max_wait_ms if max_wait_ms is None
+            else max_wait_ms
+        )
+        self.max_queue_depth = int(
+            config.service_max_queue_depth if max_queue_depth is None
+            else max_queue_depth
+        )
+        if self.max_batch_size < 1:
+            raise InvalidRequest("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise InvalidRequest("max_wait_ms must be >= 0")
+        if self.max_queue_depth < 1:
+            raise InvalidRequest("max_queue_depth must be >= 1")
+        self._morer = morer
+        self._lock = ReadWriteLock()
+        self._queue = []
+        self._queue_cond = threading.Condition()
+        self._closed = False
+        self._counter_lock = threading.Lock()
+        self.counters = {
+            "base_solves": 0,
+            "cov_solves": 0,
+            "batches_dispatched": 0,
+            "max_coalesced": 0,
+            "overload_rejections": 0,
+            "fits": 0,
+            "saves": 0,
+        }
+        self._retain_unsaved_journal = bool(retain_unsaved_journal)
+        self._saver_token = None
+        self._n_features = None
+        if morer.repository is not None:
+            with self._lock.write_lock():
+                self._after_mutation()
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="morer-service-scheduler",
+            daemon=True,
+        )
+        self._scheduler.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def morer(self):
+        """The wrapped instance. Direct use bypasses the locking
+        discipline — callers must hold no expectation of concurrent
+        safety when touching it."""
+        return self._morer
+
+    def close(self):
+        """Stop the scheduler after draining queued requests."""
+        with self._queue_cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue_cond.notify_all()
+        self._scheduler.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- serving -----------------------------------------------------------
+
+    def solve(self, request):
+        """Solve one problem; blocks until the decision is available.
+
+        ``request`` may be a :class:`SolveRequest`, a raw
+        :class:`~repro.core.ERProblem`, or the dict form of a request
+        (what the HTTP gateway feeds through).
+        """
+        return self.submit(request).result()
+
+    def submit(self, request):
+        """Non-blocking form of :meth:`solve`: returns a
+        :class:`~concurrent.futures.Future` of a
+        :class:`SolveResponse`.
+
+        ``base`` requests run in the calling thread (shared read lock)
+        and come back already resolved; ``cov`` requests are queued
+        for the micro-batching scheduler.
+        """
+        request = self._coerce_solve_request(request)
+        strategy = request.strategy or self._morer.config.selection
+        self._check_fitted()
+        self._check_features(request.problem)
+        if strategy == "base":
+            return self._base_future(request.problem)
+        return self._submit_cov(request.problem)
+
+    def _base_future(self, problem):
+        """A resolved future holding one ``sel_base`` solve (or its
+        translated error)."""
+        future = Future()
+        try:
+            future.set_result(self._solve_base(problem))
+        except BaseException as exc:
+            future.set_exception(self._translate(exc))
+        return future
+
+    def solve_batch(self, requests):
+        """Solve several problems; returns responses in input order.
+
+        Admission is all-or-nothing: every request is validated and
+        the ``cov`` members are enqueued under one queue reservation
+        before any work starts, so a mid-list ``InvalidRequest`` or
+        ``Overloaded`` leaves nothing executing server-side. All
+        ``cov`` members land in the queue before any blocking wait, so
+        one client's batch coalesces with itself (and with any other
+        client's concurrent traffic) exactly like independent
+        submissions would.
+
+        Post-admission failures are per-request: if any member's solve
+        errors after admission, every other member still completes
+        (and its effects stand), all futures are awaited, and the
+        first failing member's error is raised. Callers that need the
+        surviving members' responses alongside the failure should
+        :meth:`submit` each request and inspect the futures
+        individually.
+        """
+        requests = [
+            self._coerce_solve_request(request)
+            for request in list(requests)
+        ]
+        self._check_fitted()
+        for request in requests:
+            self._check_features(request.problem)
+        default = self._morer.config.selection
+        strategies = [request.strategy or default for request in requests]
+        cov_indices = [
+            i for i, strategy in enumerate(strategies) if strategy == "cov"
+        ]
+        pendings = self._enqueue_cov(
+            [requests[i].problem for i in cov_indices]
+        )
+        futures = [None] * len(requests)
+        for i, pending in zip(cov_indices, pendings):
+            futures[i] = pending.future
+        for i, strategy in enumerate(strategies):
+            if strategy == "base":
+                futures[i] = self._base_future(requests[i].problem)
+        # Await every future before surfacing any failure, so a raised
+        # error never leaves tick-mates' work silently in flight.
+        outcomes = [
+            (future.result, future.exception()) for future in futures
+        ]
+        for result, error in outcomes:
+            if error is not None:
+                raise error
+        return [result() for result, _ in outcomes]
+
+    def fit(self, request):
+        """Fit the wrapped MoRER from a :class:`FitRequest` (or a list
+        of labelled problems, or the request's dict form)."""
+        request = self._coerce_fit_request(request)
+        with self._lock.write_lock():
+            if self._morer.repository is not None:
+                raise InvalidRequest(
+                    "the service is already fitted; extend the "
+                    "repository with sel_cov solves instead of refitting"
+                )
+            try:
+                self._morer.fit(request.problems)
+            except ValueError as exc:
+                raise InvalidRequest(str(exc)) from exc
+            finally:
+                # Even a failed fit may have left a partially built
+                # repository/graph behind; flush its lazy caches so
+                # read-lock searches never rebuild them concurrently.
+                self._after_mutation()
+        self._bump("fits")
+        return self.stats()
+
+    def save(self, path):
+        """Persist the whole session (exclusive) via :meth:`MoRER.save`;
+        advances the saver journal cursor when one is registered."""
+        self._check_fitted()
+        with self._lock.write_lock():
+            try:
+                self._morer.save(path)
+            except NotFittedError as exc:
+                raise NotFitted(str(exc)) from exc
+            if self._saver_token is not None:
+                self._morer.problem_graph.advance_consumer(
+                    self._saver_token
+                )
+        self._bump("saves")
+
+    def stats(self):
+        """Operational snapshot (:class:`RepositoryStats`)."""
+        with self._lock.read_lock():
+            morer = self._morer
+            fitted = morer.repository is not None
+            with self._queue_cond:
+                queue_depth = len(self._queue)
+            with self._counter_lock:
+                service = dict(self.counters)
+            service["queue_depth"] = queue_depth
+            service["max_batch_size"] = self.max_batch_size
+            service["max_wait_ms"] = self.max_wait_ms
+            service["max_queue_depth"] = self.max_queue_depth
+            if not fitted:
+                return RepositoryStats(fitted=False, service=service)
+            graph = morer.problem_graph
+            return RepositoryStats(
+                fitted=True,
+                n_entries=len(morer.repository),
+                n_problems=len(graph),
+                total_labels_spent=morer.total_labels_spent(),
+                graph_version=graph.version,
+                journal_pending=graph.journal_length,
+                counters=dict(morer.counters),
+                timings=dict(morer.timings),
+                service=service,
+            )
+
+    def healthz(self):
+        """Liveness/readiness snapshot for the gateway."""
+        with self._queue_cond:
+            queue_depth = len(self._queue)
+            closed = self._closed
+        return {
+            "status": "closed" if closed else "ok",
+            "fitted": self._morer.repository is not None,
+            "queue_depth": queue_depth,
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _coerce_solve_request(self, request):
+        if isinstance(request, SolveRequest):
+            return request
+        if isinstance(request, ERProblem):
+            return SolveRequest(problem=request)
+        if isinstance(request, dict):
+            return SolveRequest.from_dict(request)
+        raise InvalidRequest(
+            "solve expects a SolveRequest, an ERProblem or a request "
+            f"dict, got {type(request).__name__}"
+        )
+
+    def _coerce_fit_request(self, request):
+        if isinstance(request, FitRequest):
+            return request
+        if isinstance(request, dict):
+            return FitRequest.from_dict(request)
+        if isinstance(request, (list, tuple)):
+            return FitRequest(problems=list(request))
+        raise InvalidRequest(
+            "fit expects a FitRequest, a list of problems or a request "
+            f"dict, got {type(request).__name__}"
+        )
+
+    def _check_fitted(self):
+        if self._morer.repository is None:
+            raise NotFitted("the service has no fitted repository yet; "
+                            "call fit() (or serve a loaded store)")
+
+    def _check_features(self, problem):
+        # Rejecting schema mismatches at admission keeps one bad probe
+        # from poisoning a whole coalesced batch.
+        if self._n_features is not None and (
+            problem.n_features != self._n_features
+        ):
+            raise InvalidRequest(
+                f"problem {problem.key} has {problem.n_features} "
+                f"features; the repository's shared comparison schema "
+                f"has {self._n_features}"
+            )
+
+    def _solve_base(self, problem):
+        with self._lock.read_lock():
+            result = self._morer.solve(problem, strategy="base")
+        self._bump("base_solves")
+        return SolveResponse.from_result(result)
+
+    def _submit_cov(self, problem):
+        return self._enqueue_cov([problem])[0].future
+
+    def _enqueue_cov(self, problems):
+        """Atomically admit several ``cov`` problems: either every one
+        is queued under the capacity bound, or none is (``Overloaded``
+        must never leave a prefix of a caller's batch executing)."""
+        pendings = [_PendingSolve(problem) for problem in problems]
+        if not pendings:
+            return pendings
+        with self._queue_cond:
+            if self._closed:
+                raise ServiceError("the service is closed")
+            if len(self._queue) + len(pendings) > self.max_queue_depth:
+                self._bump("overload_rejections")
+                raise Overloaded(
+                    f"solve queue is full ({self.max_queue_depth} "
+                    "pending cov requests); retry with backoff"
+                )
+            self._queue.extend(pendings)
+            self._queue_cond.notify_all()
+        return pendings
+
+    def _scheduler_loop(self):
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            self._dispatch(batch)
+
+    def _collect_batch(self):
+        """Block until a tick's worth of requests (or shutdown)."""
+        with self._queue_cond:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._queue_cond.wait()
+            if self.max_batch_size > 1 and self.max_wait_ms > 0:
+                deadline = time.monotonic() + self.max_wait_ms / 1000.0
+                while len(self._queue) < self.max_batch_size:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._queue_cond.wait(remaining)
+            batch = self._queue[:self.max_batch_size]
+            del self._queue[:len(batch)]
+            return batch
+
+    def _dispatch(self, batch):
+        """One tick: one ``solve_batch`` for everything coalesced."""
+        # A caller may have cancelled its future while it sat queued;
+        # marking the survivors running here makes cancel() lose every
+        # later race, so the resolutions below can never hit
+        # InvalidStateError (which would kill the scheduler thread).
+        batch = [
+            pending for pending in batch
+            if pending.future.set_running_or_notify_cancel()
+        ]
+        if not batch:
+            return
+        try:
+            results = self._solve_tick(
+                [pending.problem for pending in batch]
+            )
+        except BaseException as exc:
+            if len(batch) == 1:
+                batch[0].future.set_exception(self._translate(exc))
+                return
+            # A mid-batch failure (e.g. an unlabeled probe that lands
+            # in an all-unseen cluster) must not fail its tick-mates:
+            # fall back to one solve per request so only the offending
+            # one errors. The probes are already integrated, so the
+            # retries pay decisions, not integration.
+            for pending in batch:
+                self._dispatch_single(pending)
+            return
+        self._record_tick(len(batch))
+        for pending, result in zip(batch, results):
+            pending.future.set_result(SolveResponse.from_result(result))
+
+    def _dispatch_single(self, pending):
+        """Degraded per-request path after a failed coalesced tick."""
+        try:
+            result = self._solve_tick([pending.problem])[0]
+        except BaseException as exc:
+            pending.future.set_exception(self._translate(exc))
+            return
+        self._record_tick(1)
+        pending.future.set_result(SolveResponse.from_result(result))
+
+    def _solve_tick(self, problems):
+        """One write-locked ``solve_batch``; the lazy search caches are
+        re-flushed even when a probe's decision raises (earlier batch
+        members may already have retrained or registered entries that
+        read-lock searches must not rebuild concurrently)."""
+        with self._lock.write_lock():
+            try:
+                return self._morer.solve_batch(problems, strategy="cov")
+            finally:
+                self._after_mutation()
+
+    def _record_tick(self, n_solves):
+        # Counters first: a caller observing its resolved future must
+        # find stats() already reflecting the completed solve.
+        with self._counter_lock:
+            self.counters["cov_solves"] += n_solves
+            self.counters["batches_dispatched"] += 1
+            self.counters["max_coalesced"] = max(
+                self.counters["max_coalesced"], n_solves
+            )
+
+    def _after_mutation(self):
+        """Write-lock-held bookkeeping after fit / cov / load.
+
+        Flushes the repository's lazy search caches (so read-lock
+        ``sel_base`` searches stay non-mutating) and pins the shared
+        comparison schema + the saver journal cursor the first time a
+        graph exists.
+        """
+        morer = self._morer
+        if morer.repository is not None:
+            morer.repository.prepare_search()
+        graph = morer.problem_graph
+        if graph is not None:
+            if self._n_features is None and len(graph):
+                self._n_features = next(
+                    iter(graph.problems().values())
+                ).n_features
+            if self._retain_unsaved_journal and self._saver_token is None:
+                self._saver_token = graph.register_consumer()
+
+    def _translate(self, exc):
+        if isinstance(exc, ServiceError):
+            return exc
+        if isinstance(exc, NotFittedError):
+            return NotFitted(str(exc))
+        # Only ValueError is a client-caused condition in core (bad
+        # shapes, missing labels, unknown strategies); KeyError and
+        # friends signal internal inconsistencies and must surface as
+        # internal errors (HTTP 500), not blame the request.
+        if isinstance(exc, ValueError):
+            return InvalidRequest(str(exc))
+        return exc
+
+    def _bump(self, counter):
+        with self._counter_lock:
+            self.counters[counter] += 1

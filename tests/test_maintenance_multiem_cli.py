@@ -158,3 +158,25 @@ def test_cli_runs_fig2(capsys):
     cli_main(["fig2", "--scale", "0.15"])
     output = capsys.readouterr().out
     assert "Fig. 2" in output
+
+
+def test_cli_parser_serve_options():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--demo", "--port", "0"])
+    assert args.experiment == "serve"
+    assert args.demo == 24  # bare --demo takes the default size
+    args = parser.parse_args([
+        "serve", "--store", "runs/store", "--max-batch-size", "8",
+        "--max-wait-ms", "5", "--max-queue-depth", "32",
+    ])
+    assert args.store == "runs/store"
+    assert args.max_batch_size == 8
+    assert args.max_wait_ms == 5.0
+    assert args.max_queue_depth == 32
+
+
+def test_cli_serve_requires_a_source():
+    with pytest.raises(SystemExit, match="--store DIR or --demo"):
+        cli_main(["serve"])
+    with pytest.raises(SystemExit, match="mutually exclusive"):
+        cli_main(["serve", "--store", "x", "--demo", "4"])

@@ -396,3 +396,69 @@ def _group(partition):
     for node, label in partition.items():
         groups.setdefault(label, set()).add(node)
     return groups
+
+
+# -- compaction watermark (registered consumers) -----------------------------------
+
+
+def test_trim_journal_respects_registered_consumer_cursors():
+    graph = ERProblemGraph.build(make_problem_family(4), "ks")
+    saver = graph.register_consumer()  # at version 4 (post-build)
+    probes = _probes(3, seed=300)
+    for probe in probes:
+        graph.add_problem(probe)
+    # A fast consumer (the live partition) trims at the head, but the
+    # slow saver's cursor pins every entry it has not replayed yet.
+    graph.trim_journal(graph.version)
+    assert graph.journal_length == 3
+    assert graph.journal_since(4) is not None
+    # Advancing the saver releases the entries at the next trim.
+    graph.advance_consumer(saver, graph.version - 1)
+    graph.trim_journal(graph.version)
+    assert graph.journal_length == 1
+    assert graph.journal_since(4) is None
+    # Default advance = caught up; unregistering removes the bound.
+    graph.advance_consumer(saver)
+    assert graph.consumer_cursor(saver) == graph.version
+    graph.unregister_consumer(saver)
+    graph.add_problem(make_problem("W", "Wb", seed=400))
+    graph.trim_journal(graph.version)
+    assert graph.journal_length == 0
+
+
+def test_consumer_cursor_validation():
+    graph = ERProblemGraph.build(make_problem_family(3), "ks")
+    graph.add_problem(make_problem("X", "Xb", seed=310))
+    graph.trim_journal(graph.version)  # offset now 4
+    with pytest.raises(ValueError, match="outside the retained journal"):
+        graph.register_consumer(2)
+    with pytest.raises(ValueError, match="outside the retained journal"):
+        graph.register_consumer(graph.version + 1)
+    token = graph.register_consumer()
+    with pytest.raises(ValueError, match="only advance"):
+        graph.advance_consumer(token, graph.version - 1)
+    with pytest.raises(ValueError, match="past version"):
+        graph.advance_consumer(token, graph.version + 5)
+    with pytest.raises(KeyError, match="unknown journal consumer"):
+        graph.advance_consumer(object())
+    # Unregistering twice is harmless.
+    graph.unregister_consumer(token)
+    graph.unregister_consumer(token)
+
+
+def test_morer_trim_keeps_entries_for_slow_consumer():
+    """MoRER's per-solve trim must not outrun a registered consumer."""
+    family = make_problem_family(6)
+    morer = _fit(True, family, use_index=True, index_threshold=2)
+    token = morer.problem_graph.register_consumer()
+    version_before = morer.problem_graph.version
+    for probe in _probes(4, seed=320):
+        morer.solve(probe)
+    graph = morer.problem_graph
+    # Every insertion since registration is still replayable for the
+    # consumer, even though the partition cursor moved past them.
+    entries = graph.journal_since(version_before)
+    assert entries is not None and len(entries) == 4
+    graph.advance_consumer(token)
+    morer.solve(_probes(1, seed=330, prefix="Z")[0])
+    assert graph.journal_since(version_before) is None
