@@ -89,18 +89,84 @@ def build_parser():
         "--log-requests", action="store_true",
         help="log one line per HTTP request to stderr",
     )
+    gateway.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help=(
+            "write-ahead-log directory (requires --store): mutations "
+            "are logged before they execute and replayed on startup "
+            "after a crash"
+        ),
+    )
+    gateway.add_argument(
+        "--fsync", choices=("always", "interval", "off"), default="always",
+        help=(
+            "WAL fsync policy: per-record (safest), bounded-interval, "
+            "or none (survives kill -9 but not power loss)"
+        ),
+    )
+    gateway.add_argument(
+        "--fsync-interval-ms", type=float, default=50.0, metavar="MS",
+        help="max fsync staleness under --fsync interval",
+    )
+    gateway.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help=(
+            "with --wal-dir: snapshot to --store and truncate the WAL "
+            "after every N logged records (0 = only on /save)"
+        ),
+    )
     return parser
 
 
 def _serve(args):
-    """The ``repro serve`` command: load/fit, wrap, serve forever."""
+    """The ``repro serve`` command: load/fit (or recover), wrap, serve
+    forever. With ``--wal-dir`` the startup path is crash recovery:
+    last good snapshot under ``--store`` + WAL tail replay, then an
+    immediate checkpoint when anything was replayed."""
     from .core import MoRER
     from .service import MoRERService, ServiceHTTPServer
     from .service.fixtures import demo_morer
 
-    if args.store is not None and args.demo is not None:
-        raise SystemExit("--store and --demo are mutually exclusive")
-    if args.store is not None:
+    replayed = False
+    if args.wal_dir is not None:
+        if args.store is None:
+            raise SystemExit(
+                "--wal-dir requires --store DIR (the snapshot directory "
+                "recovery loads and checkpoints into)"
+            )
+        from .durability import recover
+
+        morer, report = recover(args.wal_dir, store=args.store)
+        if morer is not None and morer.repository is not None:
+            origin = (
+                f"recovery (snapshot {report.snapshot_path}, "
+                f"{report.n_replayed} WAL records replayed)"
+            )
+            replayed = report.n_replayed > 0
+            if report.replay_errors:
+                print(
+                    f"recovery: {len(report.replay_errors)} record(s) "
+                    f"failed on replay (they failed live too): "
+                    f"{report.replay_errors}",
+                    flush=True,
+                )
+        elif args.demo is not None:
+            # Nothing recoverable: bootstrap the store from the demo
+            # fixture (first boot of a durable server).
+            morer = demo_morer(args.demo)
+            origin = f"demo bootstrap ({args.demo} problems)"
+            replayed = True  # force the initial checkpoint below
+        else:
+            raise SystemExit(
+                f"nothing to recover: no loadable snapshot under "
+                f"{args.store} and no replayable WAL in {args.wal_dir}; "
+                "bootstrap with --demo [N] or pre-populate the store"
+            )
+    elif args.store is not None and args.demo is not None:
+        raise SystemExit(
+            "--store and --demo are mutually exclusive without --wal-dir"
+        )
+    elif args.store is not None:
         morer = MoRER.load(args.store)
         origin = f"store {args.store}"
     elif args.demo is not None:
@@ -113,7 +179,20 @@ def _serve(args):
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         max_queue_depth=args.max_queue_depth,
+        wal_dir=args.wal_dir,
+        fsync_policy=args.fsync,
+        fsync_interval_ms=args.fsync_interval_ms,
+        checkpoint_store=args.store if args.wal_dir is not None else None,
+        checkpoint_every=(
+            args.checkpoint_every if args.wal_dir is not None else 0
+        ),
     )
+    if args.wal_dir is not None and replayed:
+        # Checkpoint immediately so the next restart starts from a
+        # snapshot instead of repeating the replay (and so a demo
+        # bootstrap becomes a loadable store at all).
+        service.save(args.store)
+        print(f"checkpointed recovered state to {args.store}", flush=True)
     server = ServiceHTTPServer(
         service, (args.host, args.port), log_requests=args.log_requests
     )

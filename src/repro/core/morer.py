@@ -633,7 +633,7 @@ class MoRER:
 
     # -- persistence --------------------------------------------------------------
 
-    def save(self, path):
+    def save(self, path, extras=None):
         """Persist the whole solve session to directory ``path``.
 
         Layout (``format`` :data:`PERSISTENCE_FORMAT`):
@@ -647,6 +647,18 @@ class MoRER:
           the :class:`PartitionState`, trained keys, clusters, timings
           and the RNG stream state.
 
+        The write is **atomic and crash-safe**: everything lands in a
+        temp sibling that is fsynced and renamed into place
+        (:class:`~repro.durability.atomic_directory`), the replaced
+        snapshot surviving as ``<path>.prev`` — a crash at any point
+        leaves a complete generation loadable (see
+        :func:`repro.durability.load_snapshot`).
+
+        ``extras`` maps extra file names to text written inside the
+        snapshot *before* the atomic swap — the service uses it to
+        embed the WAL position (``durability.json``) so recovery knows
+        exactly which log records the snapshot already absorbed.
+
         :meth:`load` restores all of it, so the first post-restart
         ``sel_cov`` solve replays the journal instead of rebuilding
         signatures, sketches or the partition, and draws the same
@@ -654,30 +666,36 @@ class MoRER:
         """
         if self.repository is None:
             raise NotFittedError("MoRER is not fitted; call fit() first")
+        from ..durability.atomic import atomic_directory
+        from ..durability.faults import kill_point
+
         path = Path(path)
-        path.mkdir(parents=True, exist_ok=True)
-        self.repository.save(path / "repository")
-        graph_meta, graph_arrays = self.problem_graph.export_state()
-        np.savez_compressed(path / "graph.npz", **graph_arrays)
-        state = {
-            "format": PERSISTENCE_FORMAT,
-            "config": self.config.to_dict(),
-            "graph": graph_meta,
-            "trained_keys": sorted(
-                list(key) for key in self.trained_keys
-            ),
-            "clusters": None if self.clusters_ is None else [
-                sorted(list(key) for key in cluster)
-                for cluster in self.clusters_
-            ],
-            "partition": (
-                None if self._partition is None
-                else self._partition.to_dict()
-            ),
-            "timings": self.timings,
-            "rng_state": self._rng.bit_generator.state,
-        }
-        (path / "morer.json").write_text(json.dumps(state))
+        with atomic_directory(path) as tmp:
+            self.repository.save(tmp / "repository", atomic=False)
+            kill_point("snapshot.mid_write")
+            graph_meta, graph_arrays = self.problem_graph.export_state()
+            np.savez_compressed(tmp / "graph.npz", **graph_arrays)
+            state = {
+                "format": PERSISTENCE_FORMAT,
+                "config": self.config.to_dict(),
+                "graph": graph_meta,
+                "trained_keys": sorted(
+                    list(key) for key in self.trained_keys
+                ),
+                "clusters": None if self.clusters_ is None else [
+                    sorted(list(key) for key in cluster)
+                    for cluster in self.clusters_
+                ],
+                "partition": (
+                    None if self._partition is None
+                    else self._partition.to_dict()
+                ),
+                "timings": self.timings,
+                "rng_state": self._rng.bit_generator.state,
+            }
+            (tmp / "morer.json").write_text(json.dumps(state))
+            for name, text in (extras or {}).items():
+                (tmp / name).write_text(text)
 
     @classmethod
     def load(cls, path):

@@ -123,6 +123,34 @@ class ERProblem:
             self.pair_ids, self.feature_names,
         )
 
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self):
+        """JSON-safe form: the wire format of the serving API and the
+        payload the durability WAL records for replay."""
+        return {
+            "source_a": self.source_a,
+            "source_b": self.source_b,
+            "features": self.features.tolist(),
+            "labels": None if self.labels is None else self.labels.tolist(),
+            "pair_ids": (
+                None if self.pair_ids is None
+                else [list(pair) for pair in self.pair_ids]
+            ),
+            "feature_names": self.feature_names,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild from :meth:`to_dict`; constructor validation applies
+        (``ValueError`` on malformed payloads)."""
+        return cls(
+            data["source_a"], data["source_b"], data["features"],
+            labels=data.get("labels"),
+            pair_ids=data.get("pair_ids"),
+            feature_names=data.get("feature_names"),
+        )
+
     def __repr__(self):
         labelled = "labelled" if self.labels is not None else "unlabelled"
         return (

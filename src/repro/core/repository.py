@@ -422,8 +422,21 @@ class ModelRepository:
 
     # -- persistence -----------------------------------------------------------
 
-    def save(self, path):
-        """Persist the repository to directory ``path``."""
+    def save(self, path, atomic=True):
+        """Persist the repository to directory ``path``.
+
+        ``atomic`` (the default) stages the write in a temp sibling and
+        renames it into place with the previous generation kept as
+        ``<path>.prev`` — a crash mid-save never corrupts an existing
+        store. :meth:`MoRER.save` passes ``atomic=False`` because its
+        own snapshot swap already covers the nested repository dir.
+        """
+        if atomic:
+            from ..durability.atomic import atomic_directory
+
+            with atomic_directory(path) as tmp:
+                self.save(tmp, atomic=False)
+            return
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         manifest = {

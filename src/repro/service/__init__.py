@@ -6,7 +6,8 @@ into something that serves concurrent traffic:
 - :mod:`~repro.service.types` — ``SolveRequest`` / ``SolveResponse`` /
   ``FitRequest`` / ``RepositoryStats``, each JSON-(de)serialisable;
 - :mod:`~repro.service.errors` — the explicit failure vocabulary
-  (``NotFitted``, ``InvalidRequest``, ``Overloaded``);
+  (``NotFitted``, ``InvalidRequest``, ``Overloaded``, ``Unavailable``
+  when the durability WAL degrades, client-side ``TransportError``);
 - :mod:`~repro.service.service` — :class:`MoRERService`, a read-write-
   locked façade whose background scheduler coalesces concurrent
   ``sel_cov`` requests into one :meth:`MoRER.solve_batch` per tick;
@@ -17,7 +18,14 @@ into something that serves concurrent traffic:
 """
 
 from .client import ServiceClient
-from .errors import InvalidRequest, NotFitted, Overloaded, ServiceError
+from .errors import (
+    InvalidRequest,
+    NotFitted,
+    Overloaded,
+    ServiceError,
+    TransportError,
+    Unavailable,
+)
 from .http import ServiceHTTPServer, serve
 from .rwlock import ReadWriteLock
 from .service import MoRERService
@@ -46,4 +54,6 @@ __all__ = [
     "NotFitted",
     "InvalidRequest",
     "Overloaded",
+    "Unavailable",
+    "TransportError",
 ]

@@ -5,19 +5,44 @@ A stdlib (``urllib``) client for the gateway in
 in-process :class:`~repro.service.MoRERService` does and re-raising the
 same typed errors (:class:`~repro.service.NotFitted`,
 :class:`~repro.service.InvalidRequest`,
-:class:`~repro.service.Overloaded`) the server reported — remote and
+:class:`~repro.service.Overloaded`,
+:class:`~repro.service.Unavailable`) the server reported — remote and
 in-process callers are written identically.
+
+Retry policy
+------------
+The client retries **idempotent** calls only — ``healthz``/``stats``
+and solves whose strategy is explicitly ``"base"`` — and only on
+failures where retrying is safe and useful: connection-level errors
+(:class:`~repro.service.TransportError`; the request may never have
+arrived) and 429 ``Overloaded`` / 503 ``Unavailable`` back-pressure.
+Sleeps follow exponential backoff with jitter.
+
+``cov`` solves and ``fit`` are **never** auto-retried: they mutate
+server state. A ``cov`` request that timed out client-side may still
+have executed server-side — blindly retrying it would spend the label
+budget twice, advance the repository's RNG stream, and potentially
+register a duplicate graph node. Callers that know their workload can
+opt in per call with ``idempotent=True`` on :meth:`_request`, or
+simply re-submit after inspecting :meth:`stats`.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 
 from ..core.problem import ERProblem
-from .errors import ServiceError, error_for_code
+from .errors import (
+    Overloaded,
+    ServiceError,
+    TransportError,
+    Unavailable,
+    error_for_code,
+)
 from .types import (
     FitRequest,
     RepositoryStats,
@@ -26,6 +51,11 @@ from .types import (
 )
 
 __all__ = ["ServiceClient"]
+
+#: Typed errors worth retrying when (and only when) the call is
+#: idempotent: the request never arrived, or the server asked for
+#: backoff.
+_RETRYABLE = (TransportError, Overloaded, Unavailable)
 
 
 class ServiceClient:
@@ -39,15 +69,42 @@ class ServiceClient:
         Per-request socket timeout in seconds. ``sel_cov`` solves block
         server-side until their micro-batch tick completes, so keep
         this comfortably above ``service_max_wait_ms``.
+    retries : int
+        Extra attempts for retryable failures of idempotent calls
+        (see the module docstring). ``0`` disables retrying.
+    backoff : float
+        Base sleep before the first retry; doubles per attempt.
+    backoff_max : float
+        Cap on any single backoff sleep, pre-jitter.
     """
 
-    def __init__(self, base_url, timeout=60.0):
+    def __init__(self, base_url, timeout=60.0, retries=2, backoff=0.1,
+                 backoff_max=2.0):
         self.base_url = str(base_url).rstrip("/")
         self.timeout = float(timeout)
+        self.retries = max(int(retries), 0)
+        self.backoff = max(float(backoff), 0.0)
+        self.backoff_max = max(float(backoff_max), 0.0)
 
     # -- transport ---------------------------------------------------------
 
-    def _request(self, method, path, payload=None):
+    def _request(self, method, path, payload=None, idempotent=False):
+        """Send one JSON request; retry per policy when ``idempotent``."""
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except _RETRYABLE:
+                if not idempotent or attempt >= self.retries:
+                    raise
+                # Full-jitter-ish backoff: half deterministic so waits
+                # still grow, half random so synchronised clients
+                # don't re-stampede an Overloaded queue in lockstep.
+                delay = min(self.backoff_max, self.backoff * (2 ** attempt))
+                time.sleep(delay * (0.5 + 0.5 * random.random()))
+                attempt += 1
+
+    def _request_once(self, method, path, payload=None):
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -73,15 +130,16 @@ class ServiceClient:
                     f"HTTP {exc.code} from {path}: {detail[:200]!r}"
                 ) from None
         except urllib.error.URLError as exc:
-            raise ServiceError(
+            raise TransportError(
                 f"cannot reach {self.base_url}{path}: {exc.reason}"
             ) from None
 
     # -- API ---------------------------------------------------------------
 
     def healthz(self):
-        """``{"status", "fitted", "queue_depth"}`` from the gateway."""
-        return self._request("GET", "/healthz")
+        """The gateway's full health dict (``status``, ``live``,
+        ``ready``, ``fitted``, ``queue_depth``, optional ``wal``)."""
+        return self._request("GET", "/healthz", idempotent=True)
 
     def wait_ready(self, timeout=10.0, interval=0.1):
         """Poll ``/healthz`` until the gateway answers (startup gate).
@@ -100,7 +158,9 @@ class ServiceClient:
 
     def stats(self):
         """Server-side :class:`~repro.service.RepositoryStats`."""
-        return RepositoryStats.from_dict(self._request("GET", "/stats"))
+        return RepositoryStats.from_dict(
+            self._request("GET", "/stats", idempotent=True)
+        )
 
     def solve(self, request, strategy=None):
         """Solve one problem; returns a
@@ -108,31 +168,61 @@ class ServiceClient:
 
         ``request`` may be a :class:`~repro.service.SolveRequest` or a
         bare :class:`~repro.core.ERProblem` (with an optional
-        ``strategy`` override).
+        ``strategy`` override). Only explicit ``"base"`` solves are
+        auto-retried — a strategy of ``None`` defers to the server's
+        configured default, which may be the mutating ``cov``.
         """
         request = self._coerce(request, strategy)
         return SolveResponse.from_dict(
-            self._request("POST", "/solve", request.to_dict())
+            self._request(
+                "POST", "/solve", request.to_dict(),
+                idempotent=request.strategy == "base",
+            )
         )
 
-    def solve_batch(self, requests, strategy=None):
+    def solve_batch(self, requests, strategy=None, return_errors=False):
         """Solve several problems in one round trip (the gateway
         enqueues all of them before blocking, so they coalesce into
-        the scheduler's micro-batches)."""
-        payload = {
-            "requests": [
-                self._coerce(request, strategy).to_dict()
-                for request in requests
-            ]
-        }
-        reply = self._request("POST", "/solve_batch", payload)
-        return [
-            SolveResponse.from_dict(result) for result in reply["results"]
-        ]
+        the scheduler's micro-batches).
+
+        The gateway answers with per-item envelopes; by default the
+        first failed item's typed error is raised (matching the
+        in-process :meth:`MoRERService.solve_batch` contract). With
+        ``return_errors=True`` the full list comes back instead, each
+        slot a :class:`~repro.service.SolveResponse` or the rebuilt
+        :class:`~repro.service.ServiceError` for that item.
+        """
+        coerced = [self._coerce(request, strategy) for request in requests]
+        payload = {"requests": [request.to_dict() for request in coerced]}
+        reply = self._request(
+            "POST", "/solve_batch", payload,
+            idempotent=all(r.strategy == "base" for r in coerced),
+        )
+        outcomes = []
+        for item in reply["results"]:
+            if "ok" in item:
+                if item["ok"]:
+                    outcomes.append(SolveResponse.from_dict(item["result"]))
+                else:
+                    error = item.get("error") or {}
+                    outcomes.append(error_for_code(
+                        error.get("code"), error.get("message", "")
+                    ))
+            else:
+                # Pre-envelope gateways answered with bare response
+                # dicts; keep reading them so a new client can talk to
+                # an old server.
+                outcomes.append(SolveResponse.from_dict(item))
+        if return_errors:
+            return outcomes
+        for outcome in outcomes:
+            if isinstance(outcome, ServiceError):
+                raise outcome
+        return outcomes
 
     def fit(self, problems):
         """Fit the served repository on labelled problems; returns the
-        post-fit stats."""
+        post-fit stats. Never auto-retried (fitting mutates state)."""
         request = (
             problems if isinstance(problems, FitRequest)
             else FitRequest(problems=list(problems))

@@ -15,6 +15,8 @@ __all__ = [
     "NotFitted",
     "InvalidRequest",
     "Overloaded",
+    "Unavailable",
+    "TransportError",
     "error_for_code",
 ]
 
@@ -59,11 +61,32 @@ class Overloaded(ServiceError):
     http_status = 429
 
 
+class Unavailable(ServiceError):
+    """Durability is lost (a WAL append failed) — the service is degraded.
+
+    Mutating operations (cov solves, fit) are rejected so no decision
+    can be taken that a post-crash replay would miss; read-only solves
+    and stats keep working. Clears only on operator restart.
+    """
+
+    code = "unavailable"
+    http_status = 503
+
+
+class TransportError(ServiceError):
+    """Client-side failure to reach the gateway (connection refused,
+    reset, DNS). Never produced by the server; exists so retry logic
+    can tell "the request never arrived" from a typed rejection."""
+
+    code = "transport_error"
+    http_status = 503
+
+
 #: code -> exception class, used by the client to re-raise the exact
 #: typed error a remote gateway reported.
 _ERRORS_BY_CODE = {
     cls.code: cls for cls in (ServiceError, NotFitted, InvalidRequest,
-                              Overloaded)
+                              Overloaded, Unavailable)
 }
 
 

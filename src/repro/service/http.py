@@ -7,18 +7,28 @@ concurrency control) and a tiny JSON protocol:
 ========  ==============  ====================================================
 method    path            body -> response
 ========  ==============  ====================================================
-GET       ``/healthz``    — -> ``{"status", "fitted", "queue_depth"}``
+GET       ``/healthz``    — -> full health dict (``status``, ``live``,
+                          ``ready``, ``fitted``, ``queue_depth``, …)
+GET       ``/livez``      — -> 200 ``{"live": true}`` while the process
+                          answers at all
+GET       ``/readyz``     — -> 200 when ready for mutating traffic,
+                          503 + health dict when not (unfitted, closed
+                          or degraded)
 GET       ``/stats``      — -> :meth:`RepositoryStats.to_dict`
 POST      ``/solve``      :meth:`SolveRequest.to_dict` ->
                           :meth:`SolveResponse.to_dict`
 POST      ``/solve_batch``  ``{"requests": [SolveRequest...]}`` ->
-                          ``{"results": [SolveResponse...]}``
+                          ``{"results": [{"ok": true, "result": ...} |
+                          {"ok": false, "error": ...}]}`` — per-item
+                          envelopes; one poisoned probe no longer fails
+                          its batch-mates
 POST      ``/fit``        :meth:`FitRequest.to_dict` -> stats dict
 POST      ``/save``       ``{"path": str}`` -> ``{"saved": str}``
 ========  ==============  ====================================================
 
 Typed service errors map to their ``http_status`` (400
-``invalid_request``, 409 ``not_fitted``, 429 ``overloaded``) with a
+``invalid_request``, 409 ``not_fitted``, 429 ``overloaded``, 503
+``unavailable`` when durability is degraded) with a
 ``{"error": {"code", "message"}}`` body; anything unexpected is a 500.
 The gateway binds loopback by default and has no authentication —
 ``/save`` writes server-side paths — so treat it like any other
@@ -107,6 +117,11 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         service = self.server.service
         if self.path == "/healthz":
             self._handle(service.healthz)
+        elif self.path == "/livez":
+            self._reply(200, {"live": True})
+        elif self.path == "/readyz":
+            health = service.healthz()
+            self._reply(200 if health.get("ready") else 503, health)
         elif self.path == "/stats":
             self._handle(lambda: service.stats().to_dict())
         else:
@@ -142,8 +157,14 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             raise InvalidRequest(
                 "solve_batch body must be {\"requests\": [...]}"
             )
-        responses = service.solve_batch(requests)
-        return {"results": [response.to_dict() for response in responses]}
+        outcomes = service.solve_batch_envelopes(requests)
+        results = []
+        for outcome in outcomes:
+            if isinstance(outcome, ServiceError):
+                results.append({"ok": False, "error": outcome.to_dict()})
+            else:
+                results.append({"ok": True, "result": outcome.to_dict()})
+        return {"results": results}
 
     def _post_fit(self, service):
         return service.fit(self._read_json()).to_dict()

@@ -32,13 +32,23 @@ only, so slow ticks never head-of-line block the read path.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from concurrent.futures import Future
 
 from ..core.morer import MoRER, NotFittedError
 from ..core.problem import ERProblem
-from .errors import InvalidRequest, NotFitted, Overloaded, ServiceError
+from ..durability.faults import InjectedFault
+from ..durability.recovery import DURABILITY_MANIFEST
+from ..durability.wal import WALError, WriteAheadLog
+from .errors import (
+    InvalidRequest,
+    NotFitted,
+    Overloaded,
+    ServiceError,
+    Unavailable,
+)
 from .rwlock import ReadWriteLock
 from .types import FitRequest, RepositoryStats, SolveRequest, SolveResponse
 
@@ -73,10 +83,32 @@ class MoRERService:
         them while the live partition cursor advances past them). Off
         by default: without periodic saves the retained journal would
         grow without bound.
+    wal_dir : path, optional
+        Attach a :class:`~repro.durability.WriteAheadLog` under this
+        directory: every mutating operation (``cov`` solve tick,
+        :meth:`fit`) is appended — and fsynced per ``fsync_policy`` —
+        *before* it executes, so a crash loses nothing past the last
+        fsync (replay via :func:`repro.durability.recover`). When an
+        append fails the service turns **degraded**: mutations raise
+        :class:`~repro.service.Unavailable` (HTTP 503) while read-only
+        solves and stats continue; only a restart clears it.
+    fsync_policy : {"always", "interval", "off"}, optional
+        WAL fsync policy (default ``"always"``); see
+        :mod:`repro.durability.wal` for the power-loss trade-offs.
+    fsync_interval_ms : float, optional
+        Max fsync staleness under the ``"interval"`` policy.
+    checkpoint_store : path, optional
+        Snapshot directory for automatic checkpoints.
+    checkpoint_every : int
+        When > 0 (requires ``checkpoint_store``), the scheduler saves a
+        snapshot and truncates the WAL after every ``checkpoint_every``
+        appended records, bounding replay time after a crash.
     """
 
     def __init__(self, morer, max_batch_size=None, max_wait_ms=None,
-                 max_queue_depth=None, retain_unsaved_journal=False):
+                 max_queue_depth=None, retain_unsaved_journal=False,
+                 wal_dir=None, fsync_policy=None, fsync_interval_ms=None,
+                 checkpoint_store=None, checkpoint_every=0):
         if not isinstance(morer, MoRER):
             raise InvalidRequest(
                 f"MoRERService serves a MoRER, got {type(morer).__name__}"
@@ -114,7 +146,36 @@ class MoRERService:
             "overload_rejections": 0,
             "fits": 0,
             "saves": 0,
+            "wal_records": 0,
+            "wal_failures": 0,
+            "checkpoints": 0,
+            "checkpoint_failures": 0,
+            "unavailable_rejections": 0,
         }
+        self._degraded_reason = None
+        self._checkpoint_store = checkpoint_store
+        self.checkpoint_every = int(checkpoint_every or 0)
+        if self.checkpoint_every < 0:
+            raise InvalidRequest("checkpoint_every must be >= 0")
+        if self.checkpoint_every > 0 and checkpoint_store is None:
+            raise InvalidRequest(
+                "checkpoint_every requires a checkpoint_store to save to"
+            )
+        self._wal = None
+        self._last_checkpoint_seq = 0
+        if wal_dir is not None:
+            self._wal = WriteAheadLog(
+                wal_dir,
+                fsync_policy=(
+                    "always" if fsync_policy is None else fsync_policy
+                ),
+                fsync_interval_ms=(
+                    50.0 if fsync_interval_ms is None
+                    else float(fsync_interval_ms)
+                ),
+                config=morer.config.to_dict(),
+            )
+            self._last_checkpoint_seq = self._wal.seq
         self._retain_unsaved_journal = bool(retain_unsaved_journal)
         self._saver_token = None
         self._n_features = None
@@ -137,13 +198,19 @@ class MoRERService:
         return self._morer
 
     def close(self):
-        """Stop the scheduler after draining queued requests."""
+        """Stop the scheduler after draining queued requests; closes
+        the WAL (final fsync) once the last tick has appended."""
         with self._queue_cond:
             if self._closed:
                 return
             self._closed = True
             self._queue_cond.notify_all()
         self._scheduler.join()
+        if self._wal is not None:
+            try:
+                self._wal.close()
+            except OSError:
+                pass
 
     def __enter__(self):
         return self
@@ -177,6 +244,7 @@ class MoRERService:
         self._check_features(request.problem)
         if strategy == "base":
             return self._base_future(request.problem)
+        self._check_durable()
         return self._submit_cov(request.problem)
 
     def _base_future(self, problem):
@@ -221,6 +289,8 @@ class MoRERService:
         cov_indices = [
             i for i, strategy in enumerate(strategies) if strategy == "cov"
         ]
+        if cov_indices:
+            self._check_durable()
         pendings = self._enqueue_cov(
             [requests[i].problem for i in cov_indices]
         )
@@ -240,9 +310,73 @@ class MoRERService:
                 raise error
         return [result() for result, _ in outcomes]
 
+    def solve_batch_envelopes(self, requests):
+        """Per-item variant of :meth:`solve_batch`: never raises for a
+        single bad member.
+
+        Returns a list aligned with ``requests`` where each slot is a
+        :class:`SolveResponse` on success or a :class:`ServiceError` on
+        failure — the HTTP gateway renders these as
+        ``{"ok": true, "result": ...} | {"ok": false, "error": ...}``
+        envelopes. Whole-call conditions still raise for the batch:
+        :class:`NotFitted` (nothing can succeed) and
+        :class:`Overloaded` (admission of the ``cov`` members stays
+        all-or-nothing, so a full queue leaves nothing executing).
+        Under degraded mode the ``cov`` members come back as
+        :class:`Unavailable` envelopes while ``base`` members still
+        run.
+        """
+        requests = list(requests)
+        self._check_fitted()
+        default = self._morer.config.selection
+        outcomes = [None] * len(requests)
+        coerced = [None] * len(requests)
+        strategies = [None] * len(requests)
+        for i, request in enumerate(requests):
+            try:
+                request = self._coerce_solve_request(request)
+                self._check_features(request.problem)
+            except ServiceError as exc:
+                outcomes[i] = exc
+                continue
+            coerced[i] = request
+            strategies[i] = request.strategy or default
+        cov_indices = [
+            i for i, strategy in enumerate(strategies)
+            if strategy == "cov" and outcomes[i] is None
+        ]
+        if cov_indices:
+            try:
+                self._check_durable()
+            except Unavailable as exc:
+                for i in cov_indices:
+                    outcomes[i] = exc
+                cov_indices = []
+        pendings = self._enqueue_cov(
+            [coerced[i].problem for i in cov_indices]
+        )
+        futures = {}
+        for i, pending in zip(cov_indices, pendings):
+            futures[i] = pending.future
+        for i, strategy in enumerate(strategies):
+            if strategy == "base" and outcomes[i] is None:
+                futures[i] = self._base_future(coerced[i].problem)
+        for i, future in futures.items():
+            error = future.exception()
+            if error is None:
+                outcomes[i] = future.result()
+            elif isinstance(error, ServiceError):
+                outcomes[i] = error
+            else:
+                outcomes[i] = ServiceError(str(error) or repr(error))
+        return outcomes
+
     def fit(self, request):
         """Fit the wrapped MoRER from a :class:`FitRequest` (or a list
-        of labelled problems, or the request's dict form)."""
+        of labelled problems, or the request's dict form).
+
+        With a WAL attached the fit request is appended (write-ahead)
+        before training runs, so a crash mid-fit replays it."""
         request = self._coerce_fit_request(request)
         with self._lock.write_lock():
             if self._morer.repository is not None:
@@ -250,6 +384,13 @@ class MoRERService:
                     "the service is already fitted; extend the "
                     "repository with sel_cov solves instead of refitting"
                 )
+            self._check_durable()
+            self._wal_append({
+                "kind": "fit",
+                "problems": [
+                    problem.to_dict() for problem in request.problems
+                ],
+            })
             try:
                 self._morer.fit(request.problems)
             except ValueError as exc:
@@ -264,17 +405,47 @@ class MoRERService:
 
     def save(self, path):
         """Persist the whole session (exclusive) via :meth:`MoRER.save`;
-        advances the saver journal cursor when one is registered."""
+        advances the saver journal cursor when one is registered.
+
+        With a WAL attached this is a **checkpoint**: the snapshot
+        embeds ``durability.json`` recording the WAL ``seq`` it absorbs
+        (written inside the atomic swap, so snapshot and seq can never
+        disagree), and once the snapshot is durable the WAL rotates to
+        a fresh segment and deletes the old ones.
+        """
         self._check_fitted()
         with self._lock.write_lock():
+            extras = None
+            if self._wal is not None:
+                graph = self._morer.problem_graph
+                extras = {
+                    DURABILITY_MANIFEST: json.dumps({
+                        "wal_seq": self._wal.seq,
+                        "graph_version": (
+                            0 if graph is None else graph.version
+                        ),
+                    }),
+                }
             try:
-                self._morer.save(path)
+                self._morer.save(path, extras=extras)
             except NotFittedError as exc:
                 raise NotFitted(str(exc)) from exc
             if self._saver_token is not None:
                 self._morer.problem_graph.advance_consumer(
                     self._saver_token
                 )
+            if self._wal is not None and self._degraded_reason is None:
+                try:
+                    self._wal.checkpoint(self._wal.seq)
+                except (WALError, OSError) as exc:
+                    # The snapshot is safe; the WAL may not be. Refuse
+                    # further mutations rather than risk un-replayable
+                    # acks.
+                    self._degraded_reason = f"checkpoint failed: {exc}"
+                    self._bump("checkpoint_failures")
+                else:
+                    self._last_checkpoint_seq = self._wal.seq
+                    self._bump("checkpoints")
         self._bump("saves")
 
     def stats(self):
@@ -290,6 +461,9 @@ class MoRERService:
             service["max_batch_size"] = self.max_batch_size
             service["max_wait_ms"] = self.max_wait_ms
             service["max_queue_depth"] = self.max_queue_depth
+            service["wal_enabled"] = self._wal is not None
+            service["wal_seq"] = 0 if self._wal is None else self._wal.seq
+            service["degraded"] = self._degraded_reason is not None
             if not fitted:
                 return RepositoryStats(fitted=False, service=service)
             graph = morer.problem_graph
@@ -306,15 +480,41 @@ class MoRERService:
             )
 
     def healthz(self):
-        """Liveness/readiness snapshot for the gateway."""
+        """Liveness/readiness snapshot for the gateway.
+
+        ``live`` is always true while the process answers (use
+        ``/livez``); ``ready`` means "will accept mutating traffic":
+        fitted, not closed, not degraded. A degraded service (WAL
+        append failed) reports ``status: "degraded"`` and
+        ``ready: false`` while read-only solves keep working — an
+        orchestrator should drain it and restart for recovery.
+        """
         with self._queue_cond:
             queue_depth = len(self._queue)
             closed = self._closed
-        return {
-            "status": "closed" if closed else "ok",
-            "fitted": self._morer.repository is not None,
+        fitted = self._morer.repository is not None
+        degraded = self._degraded_reason is not None
+        if closed:
+            status = "closed"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        health = {
+            "status": status,
+            "live": True,
+            "ready": fitted and not closed and not degraded,
+            "fitted": fitted,
             "queue_depth": queue_depth,
         }
+        if self._wal is not None:
+            health["wal"] = {
+                "enabled": True,
+                "seq": self._wal.seq,
+                "fsync_policy": self._wal.fsync_policy,
+                "degraded_reason": self._degraded_reason,
+            }
+        return health
 
     # -- internals ---------------------------------------------------------
 
@@ -394,6 +594,7 @@ class MoRERService:
             if batch is None:
                 return
             self._dispatch(batch)
+            self._maybe_checkpoint()
 
     def _collect_batch(self):
         """Block until a tick's worth of requests (or shutdown)."""
@@ -459,12 +660,86 @@ class MoRERService:
         """One write-locked ``solve_batch``; the lazy search caches are
         re-flushed even when a probe's decision raises (earlier batch
         members may already have retrained or registered entries that
-        read-lock searches must not rebuild concurrently)."""
+        read-lock searches must not rebuild concurrently).
+
+        Write-ahead: the tick's probes are appended to the WAL (and
+        fsynced per policy) *before* any decision is taken, so every
+        acked decision is replayable. An append failure fails the tick
+        with :class:`Unavailable` and degrades the service."""
         with self._lock.write_lock():
+            self._wal_append({
+                "kind": "solve_batch",
+                "problems": [problem.to_dict() for problem in problems],
+            })
             try:
-                return self._morer.solve_batch(problems, strategy="cov")
+                results = self._morer.solve_batch(problems, strategy="cov")
             finally:
                 self._after_mutation()
+            if any(r.retrained or r.new_model for r in results):
+                self._note_epoch("retrain")
+            return results
+
+    def _wal_append(self, payload):
+        """Append one record (no-op without a WAL); on failure flip to
+        degraded and raise :class:`Unavailable`. The WAL's seq only
+        advances on success, so a failed append leaves no gap."""
+        if self._wal is None:
+            return None
+        if self._degraded_reason is not None:
+            raise Unavailable(
+                "the service is degraded (WAL append failed: "
+                f"{self._degraded_reason}); mutations are rejected"
+            )
+        try:
+            seq = self._wal.append(payload)
+        except (WALError, OSError, InjectedFault) as exc:
+            self._degraded_reason = str(exc) or repr(exc)
+            self._bump("wal_failures")
+            raise Unavailable(
+                "WAL append failed; durability lost — mutations are "
+                f"rejected, read-only solves continue ({exc})"
+            ) from exc
+        self._bump("wal_records")
+        return seq
+
+    def _note_epoch(self, event):
+        """Best-effort epoch marker (retrains, recoveries). Markers
+        carry no replayed state, so losing one must not fail the solve
+        whose decision is already WAL-durable."""
+        try:
+            self._wal_append({"kind": "epoch", "event": event})
+        except Unavailable:
+            pass
+
+    def _check_durable(self):
+        """Reject mutations while degraded: a decision taken now would
+        be missing from the WAL, so a post-crash replay could not
+        reproduce it — refusing is the honest failure mode."""
+        if self._wal is not None and self._degraded_reason is not None:
+            self._bump("unavailable_rejections")
+            raise Unavailable(
+                "the service is degraded (WAL append failed: "
+                f"{self._degraded_reason}); mutating operations are "
+                "rejected — restart the server to recover"
+            )
+
+    def _maybe_checkpoint(self):
+        """Scheduler-driven checkpoint every ``checkpoint_every``
+        appended records; failures land in counters (and degraded
+        mode), never in the scheduler thread."""
+        if (
+            self._wal is None
+            or self.checkpoint_every <= 0
+            or self._checkpoint_store is None
+            or self._degraded_reason is not None
+        ):
+            return
+        if self._wal.seq - self._last_checkpoint_seq < self.checkpoint_every:
+            return
+        try:
+            self.save(self._checkpoint_store)
+        except Exception:
+            self._bump("checkpoint_failures")
 
     def _record_tick(self, n_solves):
         # Counters first: a caller observing its resolved future must

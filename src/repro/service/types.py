@@ -53,18 +53,9 @@ def _require(data, key, kind, what):
 
 
 def problem_to_dict(problem):
-    """JSON-safe form of an :class:`~repro.core.ERProblem`."""
-    return {
-        "source_a": problem.source_a,
-        "source_b": problem.source_b,
-        "features": problem.features.tolist(),
-        "labels": None if problem.labels is None else problem.labels.tolist(),
-        "pair_ids": (
-            None if problem.pair_ids is None
-            else [list(pair) for pair in problem.pair_ids]
-        ),
-        "feature_names": problem.feature_names,
-    }
+    """JSON-safe form of an :class:`~repro.core.ERProblem` — the same
+    encoding the durability WAL logs for replay."""
+    return problem.to_dict()
 
 
 def problem_from_dict(data):

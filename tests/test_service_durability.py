@@ -1,0 +1,347 @@
+"""Service-layer durability tests: degraded mode under injected WAL
+failures, per-item solve_batch envelopes (in-process and over HTTP),
+client retry policy, scheduler-driven checkpoints, and the CLI's
+recover-on-startup path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core import MoRER
+from repro.durability import faults, read_wal
+from repro.service import (
+    InvalidRequest,
+    MoRERService,
+    Overloaded,
+    ServiceClient,
+    ServiceError,
+    ServiceHTTPServer,
+    SolveResponse,
+    TransportError,
+    Unavailable,
+)
+from repro.service.fixtures import demo_morer, demo_probes
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _bad_probe():
+    """A probe whose feature count violates the repository schema."""
+    probe = demo_probes(1, seed=55)[0]
+    data = probe.to_dict()
+    data["features"] = [row + [0.5] for row in data["features"]]
+    data["feature_names"] = None
+    from repro.core import ERProblem
+
+    return ERProblem.from_dict(data)
+
+
+# -- degraded mode -----------------------------------------------------------------
+
+
+def test_wal_failure_degrades_but_base_path_survives(tmp_path):
+    service = MoRERService(demo_morer(10), wal_dir=tmp_path / "wal")
+    probes = demo_probes(4, seed=11)
+    service.solve(probes[0])                      # healthy cov solve
+    faults.install("error:wal.pre_fsync")
+    with pytest.raises(Unavailable):
+        service.solve(probes[1])
+    faults.clear()
+    # Degraded sticks: later mutations are rejected at admission...
+    with pytest.raises(Unavailable, match="degraded"):
+        service.solve(probes[2])
+    # ...read-only solves, stats and health keep answering.
+    base = service.solve({
+        "problem": probes[3].without_labels().to_dict(),
+        "strategy": "base",
+    })
+    assert isinstance(base, SolveResponse) and base.predictions.size
+    health = service.healthz()
+    assert health["status"] == "degraded"
+    assert health["ready"] is False and health["live"] is True
+    assert health["wal"]["degraded_reason"]
+    stats = service.stats()
+    assert stats.service["degraded"] is True
+    assert stats.service["unavailable_rejections"] >= 1
+    assert stats.service["wal_failures"] == 1
+    service.close()
+
+
+def test_degraded_solve_batch_envelopes_keep_base_members(tmp_path):
+    service = MoRERService(demo_morer(10), wal_dir=tmp_path / "wal")
+    faults.install("error:wal.pre_append")
+    probes = demo_probes(3, seed=12)
+    with pytest.raises(Unavailable):
+        service.solve(probes[0])
+    faults.clear()
+    outcomes = service.solve_batch_envelopes([
+        {"problem": probes[1].to_dict(), "strategy": "cov"},
+        {"problem": probes[2].without_labels().to_dict(),
+         "strategy": "base"},
+    ])
+    assert isinstance(outcomes[0], Unavailable)
+    assert isinstance(outcomes[1], SolveResponse)
+    service.close()
+
+
+def test_non_wal_service_never_degrades(tmp_path):
+    service = MoRERService(demo_morer(8))
+    health = service.healthz()
+    assert health["status"] == "ok" and health["ready"] is True
+    assert "wal" not in health
+    assert service.stats().service["wal_enabled"] is False
+    service.close()
+
+
+# -- per-item envelopes ------------------------------------------------------------
+
+
+def test_solve_batch_envelopes_isolate_a_poisoned_member(tmp_path):
+    service = MoRERService(demo_morer(10))
+    good = demo_probes(2, seed=13)
+    outcomes = service.solve_batch_envelopes([
+        good[0],
+        _bad_probe(),
+        good[1],
+    ])
+    assert isinstance(outcomes[0], SolveResponse)
+    assert isinstance(outcomes[1], InvalidRequest)
+    assert isinstance(outcomes[2], SolveResponse)
+    service.close()
+
+
+def test_solve_batch_envelopes_whole_call_conditions_still_raise():
+    from repro.core import MoRERConfig
+
+    unfitted = MoRERService(MoRER(MoRERConfig()))
+    with pytest.raises(ServiceError):
+        unfitted.solve_batch_envelopes([demo_probes(1)[0]])
+    unfitted.close()
+    service = MoRERService(demo_morer(8), max_queue_depth=2,
+                           max_batch_size=1, max_wait_ms=0)
+    # Admission of cov members stays all-or-nothing under overload: a
+    # batch bigger than the whole queue can never be admitted, and no
+    # prefix of it may start executing.
+    probes = demo_probes(8, seed=14)
+    try:
+        with pytest.raises(Overloaded):
+            service.solve_batch_envelopes(probes)
+        assert service.counters["cov_solves"] == 0
+    finally:
+        service.close()
+
+
+# -- HTTP envelopes + client -------------------------------------------------------
+
+
+@pytest.fixture
+def gateway():
+    service = MoRERService(demo_morer(10), max_batch_size=4, max_wait_ms=10)
+    server = ServiceHTTPServer(service, ("127.0.0.1", 0))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def test_http_envelopes_round_trip_mixed_outcomes(gateway):
+    client = ServiceClient(gateway.url)
+    good = demo_probes(2, seed=15)
+    outcomes = client.solve_batch(
+        [good[0], _bad_probe(), good[1]], strategy="cov",
+        return_errors=True,
+    )
+    assert isinstance(outcomes[0], SolveResponse)
+    assert isinstance(outcomes[1], InvalidRequest)
+    assert "features" in str(outcomes[1])
+    assert isinstance(outcomes[2], SolveResponse)
+    # Default contract: first failed member's typed error raises.
+    with pytest.raises(InvalidRequest):
+        client.solve_batch([good[0], _bad_probe()], strategy="base")
+
+
+def test_livez_readyz_split(gateway):
+    client = ServiceClient(gateway.url)
+    assert client._request("GET", "/livez")["live"] is True
+    ready = client._request("GET", "/readyz")
+    assert ready["ready"] is True
+    health = client.healthz()
+    assert health["live"] is True and health["ready"] is True
+
+
+def test_readyz_503_when_unfitted():
+    from repro.core import MoRERConfig
+
+    service = MoRERService(MoRER(MoRERConfig()))
+    server = ServiceHTTPServer(service, ("127.0.0.1", 0))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError):
+            client._request("GET", "/readyz")
+        # /livez still answers 200: the process is alive, just not ready.
+        assert client._request("GET", "/livez")["live"] is True
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def test_client_retries_idempotent_calls(monkeypatch):
+    client = ServiceClient("http://127.0.0.1:1", retries=3, backoff=0.0,
+                           backoff_max=0.0)
+    calls = {"n": 0}
+
+    def flaky(method, path, payload=None):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise TransportError("connection refused")
+        return {"live": True}
+
+    monkeypatch.setattr(client, "_request_once", flaky)
+    assert client._request("GET", "/livez", idempotent=True)["live"]
+    assert calls["n"] == 3
+
+
+def test_client_never_retries_mutations(monkeypatch):
+    client = ServiceClient("http://127.0.0.1:1", retries=3, backoff=0.0)
+    calls = {"n": 0}
+
+    def always_down(method, path, payload=None):
+        calls["n"] += 1
+        raise TransportError("connection refused")
+
+    monkeypatch.setattr(client, "_request_once", always_down)
+    with pytest.raises(TransportError):
+        client.solve(demo_probes(1)[0], strategy="cov")
+    assert calls["n"] == 1                      # cov: no retry
+    calls["n"] = 0
+    with pytest.raises(TransportError):
+        client.fit(demo_probes(1))
+    assert calls["n"] == 1                      # fit: no retry
+    calls["n"] = 0
+    with pytest.raises(TransportError):
+        client.solve(demo_probes(1)[0], strategy="base")
+    assert calls["n"] == 4                      # base: 1 + 3 retries
+
+
+def test_client_retries_only_retryable_errors(monkeypatch):
+    client = ServiceClient("http://127.0.0.1:1", retries=3, backoff=0.0)
+    calls = {"n": 0}
+
+    def invalid(method, path, payload=None):
+        calls["n"] += 1
+        raise InvalidRequest("bad payload")
+
+    monkeypatch.setattr(client, "_request_once", invalid)
+    with pytest.raises(InvalidRequest):
+        client._request("GET", "/stats", idempotent=True)
+    assert calls["n"] == 1
+
+
+# -- scheduler checkpoints ---------------------------------------------------------
+
+
+def test_checkpoint_every_snapshots_and_truncates(tmp_path):
+    store, wal_dir = tmp_path / "store", tmp_path / "wal"
+    service = MoRERService(
+        demo_morer(10), wal_dir=wal_dir, checkpoint_store=store,
+        checkpoint_every=2, max_wait_ms=0,
+    )
+    for probe in demo_probes(5, seed=16):
+        service.solve(probe)
+    service.close()
+    assert service.counters["checkpoints"] >= 1
+    assert store.is_dir()
+    manifest = json.loads((store / "durability.json").read_text())
+    assert manifest["wal_seq"] >= 2
+    # The WAL tail holds only what the last checkpoint didn't absorb.
+    _, report = read_wal(wal_dir)
+    assert report.n_records <= 5
+
+
+def test_checkpoint_every_requires_store():
+    with pytest.raises(InvalidRequest, match="checkpoint_store"):
+        MoRERService(demo_morer(6), checkpoint_every=3)
+
+
+# -- CLI recovery ------------------------------------------------------------------
+
+
+def test_cli_serve_flags_parse():
+    args = build_parser().parse_args([
+        "serve", "--store", "s", "--wal-dir", "w", "--fsync", "interval",
+        "--fsync-interval-ms", "20", "--checkpoint-every", "64",
+    ])
+    assert args.wal_dir == "w" and args.fsync == "interval"
+    assert args.fsync_interval_ms == 20.0
+    assert args.checkpoint_every == 64
+
+
+def test_cli_wal_dir_requires_store(tmp_path):
+    from repro.cli import _serve
+
+    args = build_parser().parse_args(
+        ["serve", "--demo", "4", "--wal-dir", str(tmp_path / "wal")]
+    )
+    with pytest.raises(SystemExit, match="requires --store"):
+        _serve(args)
+
+
+def test_cli_recovery_replays_and_checkpoints(tmp_path, monkeypatch):
+    store, wal_dir = tmp_path / "store", tmp_path / "wal"
+    live = demo_morer(10)
+    service = MoRERService(live, wal_dir=wal_dir)
+    service.save(store)
+    for probe in demo_probes(3, seed=17):
+        service.solve(probe)
+    service.close()                      # crash-equivalent: WAL has a tail
+
+    served = {}
+
+    class _FakeServer:
+        def __init__(self, svc, address, log_requests=False):
+            served["service"] = svc
+            self.url = "fake"
+
+        def serve_forever(self):
+            raise KeyboardInterrupt
+
+        def shutdown(self):
+            pass
+
+        def server_close(self):
+            pass
+
+    import repro.cli as cli_mod
+
+    monkeypatch.setattr(
+        "repro.service.ServiceHTTPServer", _FakeServer
+    )
+    args = build_parser().parse_args([
+        "serve", "--store", str(store), "--wal-dir", str(wal_dir),
+    ])
+    cli_mod._serve(args)
+    recovered = served["service"].morer
+    assert recovered.problem_graph.version == live.problem_graph.version
+    assert (
+        recovered._rng.bit_generator.state == live._rng.bit_generator.state
+    )
+    # Startup checkpointed the replayed state: the store now absorbs
+    # the tail and the WAL is empty again.
+    restored = MoRER.load(store)
+    assert restored.problem_graph.version == live.problem_graph.version
+    _, report = read_wal(wal_dir)
+    assert report.n_records == 0
