@@ -115,6 +115,14 @@ def build_parser():
             "after every N logged records (0 = only on /save)"
         ),
     )
+    gateway.add_argument(
+        "--force-bootstrap", action="store_true",
+        help=(
+            "with --wal-dir + --demo: bootstrap a fresh fixture even "
+            "when the WAL holds acked records that could not be "
+            "replayed (DISCARDS those records at the first checkpoint)"
+        ),
+    )
     return parser
 
 
@@ -137,6 +145,9 @@ def _serve(args):
         from .durability import recover
 
         morer, report = recover(args.wal_dir, store=args.store)
+        wal_records = (
+            0 if report.wal_report is None else report.wal_report.n_records
+        )
         if morer is not None and morer.repository is not None:
             origin = (
                 f"recovery (snapshot {report.snapshot_path}, "
@@ -151,11 +162,35 @@ def _serve(args):
                     flush=True,
                 )
         elif args.demo is not None:
+            if wal_records > 0 and not args.force_bootstrap:
+                # The snapshot is gone/unloadable but the WAL still
+                # holds acked mutations that replay could not land on a
+                # fitted instance (the fit record rotated out at a past
+                # checkpoint). Bootstrapping would checkpoint over them
+                # and truncate the WAL — silent durable-data loss.
+                raise SystemExit(
+                    f"refusing --demo bootstrap: the WAL in "
+                    f"{args.wal_dir} holds {wal_records} acked "
+                    f"record(s) that could not be replayed (no loadable "
+                    f"fitted snapshot under {args.store}); bootstrapping "
+                    "would truncate and discard them at the first "
+                    "checkpoint. Restore the snapshot directory, move "
+                    "the WAL aside, or pass --force-bootstrap to "
+                    "discard them deliberately."
+                )
             # Nothing recoverable: bootstrap the store from the demo
             # fixture (first boot of a durable server).
             morer = demo_morer(args.demo)
             origin = f"demo bootstrap ({args.demo} problems)"
             replayed = True  # force the initial checkpoint below
+        elif wal_records > 0:
+            raise SystemExit(
+                f"cannot recover: the WAL in {args.wal_dir} holds "
+                f"{wal_records} acked record(s) but no loadable fitted "
+                f"snapshot exists under {args.store} to replay them "
+                "onto; restore the snapshot directory or move the WAL "
+                "aside"
+            )
         else:
             raise SystemExit(
                 f"nothing to recover: no loadable snapshot under "

@@ -39,6 +39,7 @@ __all__ = [
     "active_plans",
     "kill_point",
     "write_hook",
+    "write_all",
 ]
 
 #: Every site the durability layer calls :func:`kill_point` /
@@ -172,6 +173,23 @@ def kill_point(site):
         _trigger(plan)
 
 
+def write_all(fh, data):
+    """Write every byte of ``data`` to ``fh``, looping on short writes.
+
+    The WAL files are unbuffered (``buffering=0``), and a raw
+    ``write(2)`` may return short — signals, huge frames — which would
+    tear a frame with no fault armed and no error raised. The only torn
+    frames this module allows are the ones it injects."""
+    view = memoryview(data)
+    while len(view) > 0:
+        written = fh.write(view)
+        if written is None:
+            raise OSError(
+                "file rejected a WAL write (non-blocking stream?)"
+            )
+        view = view[written:]
+
+
 def write_hook(site, fh, data):
     """Write ``data`` to ``fh`` — or, when a torn plan for ``site`` is
     due, write only its first ``arg`` bytes (flushed so the tear is on
@@ -183,14 +201,14 @@ def write_hook(site, fh, data):
             if plan.mode in ("crash", "error"):
                 _trigger(plan)
             cut = plan.arg if plan.arg is not None else max(len(data) // 2, 1)
-            fh.write(data[:cut])
+            write_all(fh, data[:cut])
             fh.flush()
             try:
                 os.fsync(fh.fileno())
             except OSError:
                 pass
             _trigger(plan)
-    fh.write(data)
+    write_all(fh, data)
 
 
 # Environment-armed plans (subprocess tests, CI smoke): loaded once at

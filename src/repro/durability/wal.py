@@ -55,7 +55,7 @@ import time
 import zlib
 from pathlib import Path
 
-from .faults import kill_point, write_hook
+from .faults import kill_point, write_all, write_hook
 
 __all__ = [
     "WALError",
@@ -91,6 +91,7 @@ class WALReport:
         self.segments = []          # scanned segment paths, in order
         self.n_records = 0          # valid data records
         self.last_seq = 0           # seq of the last valid data record
+        self.base_seq = 0           # highest base_seq across headers
         self.config = None          # config dict from the first header
         self.torn = False           # scan stopped before the file end
         self.reason = None          # why it stopped
@@ -102,6 +103,7 @@ class WALReport:
             "segments": [str(p) for p in self.segments],
             "n_records": self.n_records,
             "last_seq": self.last_seq,
+            "base_seq": self.base_seq,
             "torn": self.torn,
             "reason": self.reason,
             "dropped_bytes": self.dropped_bytes,
@@ -208,6 +210,9 @@ def read_wal(wal_dir):
                     return records, report
                 if report.config is None:
                     report.config = record.get("config")
+                report.base_seq = max(
+                    report.base_seq, int(record.get("base_seq", 0))
+                )
                 continue
             records.append(record)
             report.n_records += 1
@@ -260,7 +265,12 @@ class WriteAheadLog:
         self._repaired = None   # (path, dropped_bytes) when a tail was cut
         segments = _list_segments(self.wal_dir)
         _, report = read_wal(self.wal_dir)
-        self._seq = report.last_seq
+        # A freshly checkpointed WAL is a single header-only segment:
+        # no data records, but the header's base_seq remembers where
+        # numbering stands. Ignoring it would restart seq at 0 and make
+        # every later append invisible to recovery (replay skips
+        # seq <= the snapshot's absorbed seq).
+        self._seq = max(report.last_seq, report.base_seq)
         if not segments:
             self._segment_index = 0
             self._open_segment(base_seq=self._seq)
@@ -373,7 +383,7 @@ class WriteAheadLog:
             len(payload), zlib.crc32(payload) & 0xFFFFFFFF
         ) + payload
         if site is None:
-            self._fh.write(frame)
+            write_all(self._fh, frame)
         else:
             write_hook(site, self._fh, frame)
 

@@ -33,6 +33,7 @@ only, so slow ticks never head-of-line block the read path.
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from concurrent.futures import Future
@@ -153,6 +154,8 @@ class MoRERService:
             "unavailable_rejections": 0,
         }
         self._degraded_reason = None
+        self._last_checkpoint_error = None
+        self._checkpoint_fail_streak = 0
         self._checkpoint_store = checkpoint_store
         self.checkpoint_every = int(checkpoint_every or 0)
         if self.checkpoint_every < 0:
@@ -464,6 +467,7 @@ class MoRERService:
             service["wal_enabled"] = self._wal is not None
             service["wal_seq"] = 0 if self._wal is None else self._wal.seq
             service["degraded"] = self._degraded_reason is not None
+            service["last_checkpoint_error"] = self._last_checkpoint_error
             if not fitted:
                 return RepositoryStats(fitted=False, service=service)
             graph = morer.problem_graph
@@ -513,6 +517,7 @@ class MoRERService:
                 "seq": self._wal.seq,
                 "fsync_policy": self._wal.fsync_policy,
                 "degraded_reason": self._degraded_reason,
+                "last_checkpoint_error": self._last_checkpoint_error,
             }
         return health
 
@@ -723,10 +728,17 @@ class MoRERService:
                 "rejected — restart the server to recover"
             )
 
+    #: Consecutive scheduler-checkpoint failures before the service
+    #: turns degraded: a persistently unsavable store (full disk, bad
+    #: permissions) would otherwise grow the WAL without bound while
+    #: healthz kept reporting ok.
+    CHECKPOINT_FAILURE_LIMIT = 3
+
     def _maybe_checkpoint(self):
         """Scheduler-driven checkpoint every ``checkpoint_every``
-        appended records; failures land in counters (and degraded
-        mode), never in the scheduler thread."""
+        appended records; failures are logged, counted and — after
+        :data:`CHECKPOINT_FAILURE_LIMIT` in a row — degrade the
+        service, but never kill the scheduler thread."""
         if (
             self._wal is None
             or self.checkpoint_every <= 0
@@ -738,8 +750,26 @@ class MoRERService:
             return
         try:
             self.save(self._checkpoint_store)
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 - scheduler must survive
             self._bump("checkpoint_failures")
+            self._checkpoint_fail_streak += 1
+            self._last_checkpoint_error = f"{type(exc).__name__}: {exc}"
+            print(
+                f"checkpoint to {self._checkpoint_store} failed "
+                f"({self._checkpoint_fail_streak} consecutive): "
+                f"{self._last_checkpoint_error}",
+                file=sys.stderr, flush=True,
+            )
+            if self._checkpoint_fail_streak >= self.CHECKPOINT_FAILURE_LIMIT:
+                self._degraded_reason = (
+                    f"{self._checkpoint_fail_streak} consecutive "
+                    f"checkpoint failures (last: "
+                    f"{self._last_checkpoint_error}); the WAL cannot be "
+                    "truncated"
+                )
+        else:
+            self._checkpoint_fail_streak = 0
+            self._last_checkpoint_error = None
 
     def _record_tick(self, n_solves):
         # Counters first: a caller observing its resolved future must

@@ -99,6 +99,22 @@ def test_wal_checkpoint_truncates_segments(tmp_path):
         wal.close()
 
 
+def test_wal_reopen_after_checkpoint_preserves_seq(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal")
+    _append_n(wal, 5)
+    wal.checkpoint(wal.seq)
+    wal.close()
+    # The log is now a single header-only segment; numbering must come
+    # from its base_seq — restarting at 0 would hand post-restart
+    # appends seqs the snapshot already absorbed, and recovery would
+    # silently skip them.
+    with WriteAheadLog(tmp_path / "wal") as wal:
+        assert wal.seq == 5
+        assert wal.append({"kind": "epoch", "event": "x"}) == 6
+    _, report = read_wal(tmp_path / "wal")
+    assert report.base_seq == 5 and report.last_seq == 6
+
+
 # -- torn / corrupt tails ----------------------------------------------------------
 
 
@@ -226,6 +242,31 @@ def test_hit_counted_fault_fires_on_nth_hit(tmp_path):
         with pytest.raises(InjectedFault):
             wal.append({"kind": "epoch", "event": "x"})
         assert wal.seq == 2
+
+
+def test_write_all_loops_on_short_writes():
+    class _DribbleFile:
+        def __init__(self):
+            self.chunks = []
+
+        def write(self, data):
+            # A raw write(2) may land fewer bytes than asked; one byte
+            # per call is the worst case.
+            self.chunks.append(bytes(data[:1]))
+            return 1
+
+    fh = _DribbleFile()
+    faults.write_all(fh, b"abcdef")
+    assert b"".join(fh.chunks) == b"abcdef"
+
+
+def test_write_all_rejects_none_return():
+    class _NoneFile:
+        def write(self, data):
+            return None
+
+    with pytest.raises(OSError):
+        faults.write_all(_NoneFile(), b"abc")
 
 
 # -- atomic snapshot swaps ---------------------------------------------------------
@@ -402,6 +443,34 @@ def test_recovery_tolerates_torn_tail_and_drops_only_the_tear(tmp_path):
     )
     # And strictly behind the never-torn live process (which saw 5).
     assert live.problem_graph.version > recovered.problem_graph.version
+
+
+def test_restart_after_checkpoint_then_crash_replays_new_records(tmp_path):
+    # The review-found data-loss window: checkpoint → clean restart →
+    # more acked mutations → crash. The restarted WAL must continue
+    # numbering from the checkpoint's base_seq; restarting at 0 made
+    # recovery skip every post-restart record as already-absorbed.
+    store, wal_dir = tmp_path / "store", tmp_path / "wal"
+    live = demo_morer(12)
+    service = MoRERService(live, wal_dir=wal_dir)
+    probes = demo_probes(6, seed=21)
+    for probe in probes[:3]:
+        service.solve(probe)
+    service.save(store)        # checkpoint: the WAL is header-only now
+    service.close()
+    service = MoRERService(live, wal_dir=wal_dir)   # clean restart
+    for probe in probes[3:]:
+        service.solve(probe)
+    # Crash without saving: replay must land the post-restart records
+    # on top of the checkpointed snapshot.
+    recovered, report = recover(wal_dir, store=store)
+    assert report.n_replayed == 3 and not report.replay_errors
+    assert report.n_skipped == 0
+    assert recovered.problem_graph.version == live.problem_graph.version
+    assert (
+        recovered._rng.bit_generator.state == live._rng.bit_generator.state
+    )
+    service.close()
 
 
 def test_save_checkpoint_truncates_wal(tmp_path):

@@ -277,6 +277,32 @@ def test_checkpoint_every_requires_store():
         MoRERService(demo_morer(6), checkpoint_every=3)
 
 
+def test_repeated_checkpoint_failures_surface_and_degrade(
+    tmp_path, monkeypatch, capsys
+):
+    store, wal_dir = tmp_path / "store", tmp_path / "wal"
+    service = MoRERService(
+        demo_morer(10), wal_dir=wal_dir, checkpoint_store=store,
+        checkpoint_every=1, max_wait_ms=0,
+    )
+
+    def unsavable(path, extras=None):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(service._morer, "save", unsavable)
+    # Sequential blocking solves: one tick each, one checkpoint attempt
+    # each; the third consecutive failure trips degraded mode.
+    for probe in demo_probes(service.CHECKPOINT_FAILURE_LIMIT, seed=31):
+        service.solve(probe)
+    service.close()          # drains the scheduler: all attempts done
+    stats = service.stats().service
+    assert stats["checkpoint_failures"] >= service.CHECKPOINT_FAILURE_LIMIT
+    assert "disk full" in stats["last_checkpoint_error"]
+    assert stats["degraded"] is True
+    assert "checkpoint" in service._degraded_reason
+    assert "disk full" in capsys.readouterr().err
+
+
 # -- CLI recovery ------------------------------------------------------------------
 
 
@@ -288,6 +314,12 @@ def test_cli_serve_flags_parse():
     assert args.wal_dir == "w" and args.fsync == "interval"
     assert args.fsync_interval_ms == 20.0
     assert args.checkpoint_every == 64
+    assert args.force_bootstrap is False
+    args = build_parser().parse_args([
+        "serve", "--store", "s", "--wal-dir", "w", "--demo",
+        "--force-bootstrap",
+    ])
+    assert args.force_bootstrap is True
 
 
 def test_cli_wal_dir_requires_store(tmp_path):
@@ -298,6 +330,84 @@ def test_cli_wal_dir_requires_store(tmp_path):
     )
     with pytest.raises(SystemExit, match="requires --store"):
         _serve(args)
+
+
+def _stranded_wal(tmp_path, n_records=2):
+    """A WAL holding acked solve records that cannot replay onto a
+    fitted instance (the fit rotated out at a past checkpoint) next to
+    a missing/unloadable store — the post-checkpoint disaster state."""
+    from repro.core import MoRERConfig
+    from repro.durability import WriteAheadLog
+
+    store, wal_dir = tmp_path / "store", tmp_path / "wal"
+    with WriteAheadLog(wal_dir, config=MoRERConfig().to_dict()) as wal:
+        for probe in demo_probes(n_records, seed=23):
+            wal.append({
+                "kind": "solve_batch",
+                "problems": [probe.to_dict()],
+            })
+    return store, wal_dir
+
+
+def test_cli_refuses_demo_bootstrap_over_unreplayable_wal(tmp_path):
+    from repro.cli import _serve
+
+    store, wal_dir = _stranded_wal(tmp_path)
+    args = build_parser().parse_args([
+        "serve", "--store", str(store), "--wal-dir", str(wal_dir),
+        "--demo", "4",
+    ])
+    # Bootstrapping would checkpoint over the stranded records and
+    # truncate them away — refuse unless explicitly forced.
+    with pytest.raises(SystemExit, match="refusing --demo bootstrap"):
+        _serve(args)
+    _, report = read_wal(wal_dir)
+    assert report.n_records == 2      # nothing was discarded
+
+
+def test_cli_without_demo_reports_stranded_wal(tmp_path):
+    from repro.cli import _serve
+
+    store, wal_dir = _stranded_wal(tmp_path)
+    args = build_parser().parse_args([
+        "serve", "--store", str(store), "--wal-dir", str(wal_dir),
+    ])
+    with pytest.raises(SystemExit, match="cannot recover"):
+        _serve(args)
+    _, report = read_wal(wal_dir)
+    assert report.n_records == 2
+
+
+def test_cli_force_bootstrap_discards_deliberately(tmp_path, monkeypatch):
+    from repro.cli import _serve
+
+    store, wal_dir = _stranded_wal(tmp_path)
+    served = {}
+
+    class _FakeServer:
+        def __init__(self, svc, address, log_requests=False):
+            served["service"] = svc
+            self.url = "fake"
+
+        def serve_forever(self):
+            raise KeyboardInterrupt
+
+        def shutdown(self):
+            pass
+
+        def server_close(self):
+            pass
+
+    monkeypatch.setattr("repro.service.ServiceHTTPServer", _FakeServer)
+    args = build_parser().parse_args([
+        "serve", "--store", str(store), "--wal-dir", str(wal_dir),
+        "--demo", "4", "--force-bootstrap",
+    ])
+    _serve(args)
+    assert served["service"].morer.repository is not None
+    assert store.is_dir()             # bootstrap checkpointed the store
+    _, report = read_wal(wal_dir)
+    assert report.n_records == 0      # the stranded records are gone
 
 
 def test_cli_recovery_replays_and_checkpoints(tmp_path, monkeypatch):
