@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate (stdlib only — runs without numpy).
+
+Two checks, both hard CI failures:
+
+1. **Markdown links.** Every relative link in README.md, ROADMAP.md
+   and docs/*.md must resolve to an existing file, and heading anchors
+   (``file.md#section`` or in-page ``#section``) must match a real
+   heading under GitHub's slug rules.
+2. **Metrics reference drift.** Every series registered in
+   ``SERVICE_METRIC_SPECS`` (``src/repro/service/observability.py``,
+   extracted with ``ast`` so the module is never imported) must be
+   documented in ``docs/OPERATIONS.md``, and every ``morer_*`` series
+   named there must exist in the specs (tolerating the ``_bucket`` /
+   ``_sum`` / ``_count`` families histograms expose).
+
+Usage: ``python scripts/check_docs.py`` from the repository root (CI's
+docs job). Exit code 0 = consistent, 1 = problems (each printed).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = ("README.md", "ROADMAP.md")
+DOCS_DIR = REPO / "docs"
+OBSERVABILITY = REPO / "src" / "repro" / "service" / "observability.py"
+OPERATIONS = DOCS_DIR / "OPERATIONS.md"
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^(```|~~~)", re.MULTILINE)
+_METRIC_TOKEN = re.compile(r"\bmorer_[a-z0-9_]+\b")
+#: Series suffixes the histogram type derives from one spec name.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def strip_code_blocks(text):
+    """Drop fenced code blocks (links inside them are examples)."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def github_slug(heading):
+    """GitHub's heading -> anchor slug transformation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"`([^`]*)`", r"\1", slug)          # unwrap code spans
+    slug = re.sub(r"[^\w\- ]", "", slug)              # drop punctuation
+    return slug.replace(" ", "-")
+
+
+def headings(path):
+    slugs = []
+    text = strip_code_blocks(path.read_text(encoding="utf-8"))
+    for line in text.splitlines():
+        match = re.match(r"#{1,6}\s+(.*)", line)
+        if match:
+            slugs.append(github_slug(match.group(1)))
+    return slugs
+
+
+def check_links(markdown_files):
+    problems = []
+    for path in markdown_files:
+        text = strip_code_blocks(path.read_text(encoding="utf-8"))
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # no network in CI; external links are not checked
+            base, _, anchor = target.partition("#")
+            resolved = (path.parent / base).resolve() if base else path
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}: broken link -> {target}"
+                )
+                continue
+            if anchor and resolved.suffix == ".md":
+                if github_slug(anchor) not in headings(resolved):
+                    problems.append(
+                        f"{path.relative_to(REPO)}: missing anchor "
+                        f"#{anchor} in {resolved.relative_to(REPO)}"
+                    )
+    return problems
+
+
+def spec_metric_names():
+    """Names in SERVICE_METRIC_SPECS, via ast (no imports, no numpy)."""
+    tree = ast.parse(OBSERVABILITY.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Name)
+                        and target.id == "SERVICE_METRIC_SPECS"):
+                    specs = ast.literal_eval(node.value)
+                    return {spec["name"] for spec in specs}
+    raise SystemExit(
+        f"SERVICE_METRIC_SPECS literal not found in {OBSERVABILITY}"
+    )
+
+
+def check_metrics_reference():
+    problems = []
+    names = spec_metric_names()
+    text = OPERATIONS.read_text(encoding="utf-8")
+    documented = set(_METRIC_TOKEN.findall(text))
+
+    for name in sorted(names):
+        if name not in documented:
+            problems.append(
+                f"docs/OPERATIONS.md: metric {name} is registered in "
+                "SERVICE_METRIC_SPECS but missing from the reference "
+                "table"
+            )
+
+    for token in sorted(documented):
+        if token in names:
+            continue
+        # A histogram spec `x` legitimately appears as x_bucket/_sum/
+        # _count in queries and scrape examples.
+        stem = None
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if token.endswith(suffix):
+                stem = token[: -len(suffix)]
+                break
+        if stem in names:
+            continue
+        problems.append(
+            f"docs/OPERATIONS.md: documents unknown metric {token} "
+            "(not in SERVICE_METRIC_SPECS — stale after a rename?)"
+        )
+    return problems
+
+
+def main():
+    markdown_files = [
+        REPO / name for name in DOC_FILES if (REPO / name).exists()
+    ]
+    markdown_files.extend(sorted(DOCS_DIR.glob("*.md")))
+    problems = check_links(markdown_files)
+    if OPERATIONS.exists():
+        problems.extend(check_metrics_reference())
+    else:
+        problems.append("docs/OPERATIONS.md does not exist")
+    if problems:
+        print(f"{len(problems)} documentation problem(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"docs ok: {len(markdown_files)} markdown files link-checked, "
+        f"{len(spec_metric_names())} metric series documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,7 +87,34 @@ def build_parser():
     )
     gateway.add_argument(
         "--log-requests", action="store_true",
-        help="log one line per HTTP request to stderr",
+        help=(
+            "raise the structured access log to debug level (also "
+            "forwards the stdlib handler's per-request lines)"
+        ),
+    )
+    gateway.add_argument(
+        "--access-log", metavar="PATH", default=None,
+        help=(
+            "append the structured JSON-lines access log to PATH "
+            "instead of stderr"
+        ),
+    )
+    gateway.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help=(
+            "per-client token-bucket admission control: each client "
+            "(X-Client-Id header or remote address) may submit RPS "
+            "mutations per second; over-quota requests get 429 + "
+            "Retry-After (overrides "
+            "MoRERConfig.service_rate_limit_rps; 0 disables)"
+        ),
+    )
+    gateway.add_argument(
+        "--rate-burst", type=float, default=None, metavar="N",
+        help=(
+            "token-bucket capacity per client (overrides "
+            "MoRERConfig.service_rate_burst; default max(RPS, 1))"
+        ),
     )
     gateway.add_argument(
         "--wal-dir", metavar="DIR", default=None,
@@ -228,8 +255,24 @@ def _serve(args):
         # bootstrap becomes a loadable store at all).
         service.save(args.store)
         print(f"checkpointed recovered state to {args.store}", flush=True)
+    # Only pass the observability/admission kwargs when the operator
+    # set them, so the config-default path stays on the plain
+    # constructor signature.
+    gateway_kwargs = {}
+    if args.access_log is not None:
+        from .service import AccessLog
+
+        gateway_kwargs["access_log"] = AccessLog(
+            path=args.access_log,
+            level="debug" if args.log_requests else "info",
+        )
+    if args.rate_limit is not None:
+        gateway_kwargs["rate_limit_rps"] = args.rate_limit
+    if args.rate_burst is not None:
+        gateway_kwargs["rate_burst"] = args.rate_burst
     server = ServiceHTTPServer(
-        service, (args.host, args.port), log_requests=args.log_requests
+        service, (args.host, args.port), log_requests=args.log_requests,
+        **gateway_kwargs,
     )
     print(
         f"serving {origin}: {len(morer.repository)} entries at "

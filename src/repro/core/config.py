@@ -147,6 +147,18 @@ class MoRERConfig:
         dispatched), further submissions fail fast with
         :class:`~repro.service.Overloaded` instead of growing the
         backlog without bound.
+    service_rate_limit_rps : float
+        Per-client token-bucket admission control in the HTTP gateway:
+        each client (``X-Client-Id`` header or remote address) may
+        submit this many mutations (``sel_cov`` solves, ``fit``) per
+        second sustained; over-quota requests are rejected with
+        :class:`~repro.service.RateLimited` (HTTP 429 +
+        ``Retry-After``) *before* they reach the scheduler queue.
+        ``0`` (the default) disables rate limiting.
+    service_rate_burst : float
+        Token-bucket capacity — the instantaneous mutation allowance
+        per client. ``0`` (the default) means
+        ``max(service_rate_limit_rps, 1)``.
     random_state : int
         Master seed.
     """
@@ -177,6 +189,8 @@ class MoRERConfig:
     service_max_batch_size: int = 16
     service_max_wait_ms: float = 2.0
     service_max_queue_depth: int = 256
+    service_rate_limit_rps: float = 0.0
+    service_rate_burst: float = 0.0
     random_state: int = 0
 
     def __post_init__(self):
@@ -213,6 +227,10 @@ class MoRERConfig:
             raise ValueError("service_max_wait_ms must be >= 0")
         if self.service_max_queue_depth < 1:
             raise ValueError("service_max_queue_depth must be >= 1")
+        if self.service_rate_limit_rps < 0:
+            raise ValueError("service_rate_limit_rps must be >= 0")
+        if self.service_rate_burst < 0:
+            raise ValueError("service_rate_burst must be >= 0")
 
     def to_dict(self):
         """Plain-dict form (JSON-safe) for repository manifests."""

@@ -260,6 +260,10 @@ class WriteAheadLog:
         self.config = config
         self.wal_dir.mkdir(parents=True, exist_ok=True)
         self.records_appended = 0
+        #: Physical fsync calls issued and the cumulative seconds they
+        #: took — the gateway's /metrics pulls these at scrape time.
+        self.fsyncs = 0
+        self.fsync_seconds = 0.0
         self._last_fsync = time.monotonic()
         self._fh = None
         self._repaired = None   # (path, dropped_bytes) when a tail was cut
@@ -397,8 +401,11 @@ class WriteAheadLog:
             and now - self._last_fsync < self.fsync_interval
         ):
             return
+        started = time.perf_counter()
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        self.fsyncs += 1
+        self.fsync_seconds += time.perf_counter() - started
         self._last_fsync = now
 
 

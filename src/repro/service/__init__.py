@@ -6,11 +6,17 @@ into something that serves concurrent traffic:
 - :mod:`~repro.service.types` — ``SolveRequest`` / ``SolveResponse`` /
   ``FitRequest`` / ``RepositoryStats``, each JSON-(de)serialisable;
 - :mod:`~repro.service.errors` — the explicit failure vocabulary
-  (``NotFitted``, ``InvalidRequest``, ``Overloaded``, ``Unavailable``
-  when the durability WAL degrades, client-side ``TransportError``);
+  (``NotFitted``, ``InvalidRequest``, ``Overloaded``, ``RateLimited``,
+  ``Unavailable`` when the durability WAL degrades, client-side
+  ``TransportError``);
 - :mod:`~repro.service.service` — :class:`MoRERService`, a read-write-
   locked façade whose background scheduler coalesces concurrent
   ``sel_cov`` requests into one :meth:`MoRER.solve_batch` per tick;
+- :mod:`~repro.service.observability` — dependency-free metrics
+  (Prometheus text format on ``GET /metrics``) and JSON-lines access
+  logging;
+- :mod:`~repro.service.limiter` — per-client token-bucket admission
+  control in front of the scheduler queue;
 - :mod:`~repro.service.http` — a stdlib HTTP/JSON gateway
   (``repro serve`` from the CLI);
 - :mod:`~repro.service.client` — :class:`ServiceClient`, the same
@@ -22,11 +28,18 @@ from .errors import (
     InvalidRequest,
     NotFitted,
     Overloaded,
+    RateLimited,
     ServiceError,
     TransportError,
     Unavailable,
 )
 from .http import ServiceHTTPServer, serve
+from .limiter import RateLimiter, TokenBucket
+from .observability import (
+    AccessLog,
+    MetricsRegistry,
+    ServiceMetrics,
+)
 from .rwlock import ReadWriteLock
 from .service import MoRERService
 from .types import (
@@ -54,6 +67,12 @@ __all__ = [
     "NotFitted",
     "InvalidRequest",
     "Overloaded",
+    "RateLimited",
     "Unavailable",
     "TransportError",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "AccessLog",
+    "RateLimiter",
+    "TokenBucket",
 ]

@@ -6,6 +6,7 @@ in-process :class:`~repro.service.MoRERService` does and re-raising the
 same typed errors (:class:`~repro.service.NotFitted`,
 :class:`~repro.service.InvalidRequest`,
 :class:`~repro.service.Overloaded`,
+:class:`~repro.service.RateLimited`,
 :class:`~repro.service.Unavailable`) the server reported — remote and
 in-process callers are written identically.
 
@@ -15,8 +16,11 @@ The client retries **idempotent** calls only — ``healthz``/``stats``
 and solves whose strategy is explicitly ``"base"`` — and only on
 failures where retrying is safe and useful: connection-level errors
 (:class:`~repro.service.TransportError`; the request may never have
-arrived) and 429 ``Overloaded`` / 503 ``Unavailable`` back-pressure.
-Sleeps follow exponential backoff with jitter.
+arrived) and 429 ``Overloaded`` / ``RateLimited`` / 503 ``Unavailable``
+back-pressure. Sleeps follow exponential backoff with jitter; when a
+429 carries a ``Retry-After`` the sleep honours it (the server knows
+exactly when the token bucket refills — sleeping less just burns an
+attempt).
 
 ``cov`` solves and ``fit`` are **never** auto-retried: they mutate
 server state. A ``cov`` request that timed out client-side may still
@@ -24,7 +28,11 @@ have executed server-side — blindly retrying it would spend the label
 budget twice, advance the repository's RNG stream, and potentially
 register a duplicate graph node. Callers that know their workload can
 opt in per call with ``idempotent=True`` on :meth:`_request`, or
-simply re-submit after inspecting :meth:`stats`.
+simply re-submit after inspecting :meth:`stats`. (A *rate-limited*
+mutation is the exception that proves the rule — the gateway rejected
+it before anything executed — but the client still re-raises rather
+than auto-retrying, because it cannot tell a 429 taken before
+admission from one that raced a timeout.)
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ import urllib.request
 from ..core.problem import ERProblem
 from .errors import (
     Overloaded,
+    RateLimited,
     ServiceError,
     TransportError,
     Unavailable,
@@ -55,7 +64,7 @@ __all__ = ["ServiceClient"]
 #: Typed errors worth retrying when (and only when) the call is
 #: idempotent: the request never arrived, or the server asked for
 #: backoff.
-_RETRYABLE = (TransportError, Overloaded, Unavailable)
+_RETRYABLE = (TransportError, Overloaded, RateLimited, Unavailable)
 
 
 class ServiceClient:
@@ -75,16 +84,24 @@ class ServiceClient:
     backoff : float
         Base sleep before the first retry; doubles per attempt.
     backoff_max : float
-        Cap on any single backoff sleep, pre-jitter.
+        Cap on any single backoff sleep, pre-jitter. A server-supplied
+        ``Retry-After`` overrides the cap — it is a promise, not a
+        guess.
+    client_id : str, optional
+        Sent as the ``X-Client-Id`` header on every request, naming
+        this caller to the gateway's per-client admission control and
+        access log. Defaults to letting the gateway fall back to the
+        remote address.
     """
 
     def __init__(self, base_url, timeout=60.0, retries=2, backoff=0.1,
-                 backoff_max=2.0):
+                 backoff_max=2.0, client_id=None):
         self.base_url = str(base_url).rstrip("/")
         self.timeout = float(timeout)
         self.retries = max(int(retries), 0)
         self.backoff = max(float(backoff), 0.0)
         self.backoff_max = max(float(backoff_max), 0.0)
+        self.client_id = None if client_id is None else str(client_id)
 
     # -- transport ---------------------------------------------------------
 
@@ -94,19 +111,27 @@ class ServiceClient:
         while True:
             try:
                 return self._request_once(method, path, payload)
-            except _RETRYABLE:
+            except _RETRYABLE as exc:
                 if not idempotent or attempt >= self.retries:
                     raise
                 # Full-jitter-ish backoff: half deterministic so waits
                 # still grow, half random so synchronised clients
                 # don't re-stampede an Overloaded queue in lockstep.
                 delay = min(self.backoff_max, self.backoff * (2 ** attempt))
-                time.sleep(delay * (0.5 + 0.5 * random.random()))
+                delay *= 0.5 + 0.5 * random.random()
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    # The server said when the bucket refills; retrying
+                    # sooner is a guaranteed second 429.
+                    delay = max(delay, float(retry_after))
+                time.sleep(delay)
                 attempt += 1
 
     def _request_once(self, method, path, payload=None):
         data = None
         headers = {"Accept": "application/json"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -120,10 +145,12 @@ class ServiceClient:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             detail = exc.read()
+            retry_after = _parse_retry_after(exc.headers)
             try:
                 error = json.loads(detail.decode("utf-8"))["error"]
                 raise error_for_code(
-                    error.get("code"), error.get("message", "")
+                    error.get("code"), error.get("message", ""),
+                    retry_after=error.get("retry_after", retry_after),
                 ) from None
             except (ValueError, KeyError, AttributeError):
                 raise ServiceError(
@@ -161,6 +188,38 @@ class ServiceClient:
         return RepositoryStats.from_dict(
             self._request("GET", "/stats", idempotent=True)
         )
+
+    def metrics(self):
+        """Scrape ``GET /metrics``: the raw Prometheus text exposition
+        (see ``docs/OPERATIONS.md`` for the series reference)."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics",
+            headers=(
+                {} if self.client_id is None
+                else {"X-Client-Id": self.client_id}
+            ),
+            method="GET",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                error = json.loads(detail.decode("utf-8"))["error"]
+                raise error_for_code(
+                    error.get("code"), error.get("message", "")
+                ) from None
+            except (ValueError, KeyError, AttributeError):
+                raise ServiceError(
+                    f"HTTP {exc.code} from /metrics: {detail[:200]!r}"
+                ) from None
+        except urllib.error.URLError as exc:
+            raise TransportError(
+                f"cannot reach {self.base_url}/metrics: {exc.reason}"
+            ) from None
 
     def solve(self, request, strategy=None):
         """Solve one problem; returns a
@@ -206,7 +265,8 @@ class ServiceClient:
                 else:
                     error = item.get("error") or {}
                     outcomes.append(error_for_code(
-                        error.get("code"), error.get("message", "")
+                        error.get("code"), error.get("message", ""),
+                        retry_after=error.get("retry_after"),
                     ))
             else:
                 # Pre-envelope gateways answered with bare response
@@ -249,3 +309,14 @@ class ServiceClient:
             "solve expects a SolveRequest or an ERProblem, got "
             f"{type(request).__name__}"
         )
+
+
+def _parse_retry_after(headers):
+    """Seconds from a ``Retry-After`` header, or ``None``."""
+    value = None if headers is None else headers.get("Retry-After")
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None

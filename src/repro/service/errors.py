@@ -15,6 +15,7 @@ __all__ = [
     "NotFitted",
     "InvalidRequest",
     "Overloaded",
+    "RateLimited",
     "Unavailable",
     "TransportError",
     "error_for_code",
@@ -61,6 +62,33 @@ class Overloaded(ServiceError):
     http_status = 429
 
 
+class RateLimited(ServiceError):
+    """The client is over its per-client mutation quota.
+
+    Raised by the gateway's token-bucket admission control *before*
+    the request reaches the scheduler queue — nothing executed
+    server-side. ``retry_after`` (seconds) says when the bucket will
+    have refilled; the gateway mirrors it in a ``Retry-After`` header
+    and :class:`~repro.service.ServiceClient` honours it when retrying
+    idempotent calls.
+    """
+
+    code = "rate_limited"
+    http_status = 429
+
+    def __init__(self, message, retry_after=None):
+        super().__init__(message)
+        self.retry_after = (
+            None if retry_after is None else float(retry_after)
+        )
+
+    def to_dict(self):
+        data = super().to_dict()
+        if self.retry_after is not None:
+            data["retry_after"] = round(self.retry_after, 3)
+        return data
+
+
 class Unavailable(ServiceError):
     """Durability is lost (a WAL append failed) — the service is degraded.
 
@@ -86,10 +114,16 @@ class TransportError(ServiceError):
 #: typed error a remote gateway reported.
 _ERRORS_BY_CODE = {
     cls.code: cls for cls in (ServiceError, NotFitted, InvalidRequest,
-                              Overloaded, Unavailable)
+                              Overloaded, RateLimited, Unavailable)
 }
 
 
-def error_for_code(code, message):
+def error_for_code(code, message, retry_after=None):
     """Rebuild the typed error a gateway serialised (client side)."""
-    return _ERRORS_BY_CODE.get(code, ServiceError)(message)
+    error = _ERRORS_BY_CODE.get(code, ServiceError)(message)
+    if retry_after is not None:
+        try:
+            error.retry_after = float(retry_after)
+        except (TypeError, ValueError):
+            pass
+    return error

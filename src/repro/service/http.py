@@ -11,10 +11,15 @@ GET       ``/healthz``    — -> full health dict (``status``, ``live``,
                           ``ready``, ``fitted``, ``queue_depth``, …)
 GET       ``/livez``      — -> 200 ``{"live": true}`` while the process
                           answers at all
-GET       ``/readyz``     — -> 200 when ready for mutating traffic,
+GET       ``/readyz``    — -> 200 when ready for mutating traffic,
                           503 + health dict when not (unfitted, closed
                           or degraded)
 GET       ``/stats``      — -> :meth:`RepositoryStats.to_dict`
+GET       ``/metrics``    — -> Prometheus text exposition (counters,
+                          gauges, latency/batch histograms; see
+                          ``docs/OPERATIONS.md`` for the full series
+                          reference). 404 when the service was built
+                          with ``metrics=False``.
 POST      ``/solve``      :meth:`SolveRequest.to_dict` ->
                           :meth:`SolveResponse.to_dict`
 POST      ``/solve_batch``  ``{"requests": [SolveRequest...]}`` ->
@@ -27,35 +32,93 @@ POST      ``/save``       ``{"path": str}`` -> ``{"saved": str}``
 ========  ==============  ====================================================
 
 Typed service errors map to their ``http_status`` (400
-``invalid_request``, 409 ``not_fitted``, 429 ``overloaded``, 503
-``unavailable`` when durability is degraded) with a
-``{"error": {"code", "message"}}`` body; anything unexpected is a 500.
+``invalid_request``, 409 ``not_fitted``, 429 ``overloaded`` /
+``rate_limited``, 503 ``unavailable`` when durability is degraded)
+with a ``{"error": {"code", "message"}, "request_id"}`` body; anything
+unexpected is a 500.
+
+Observability and admission
+---------------------------
+Every request carries a **request id** (the inbound ``X-Request-Id``
+header, or a generated one), echoed as a response header and embedded
+in error envelopes, and a **client id** (``X-Client-Id`` header, or
+the remote address). One structured JSON line per request goes to the
+:class:`~repro.service.observability.AccessLog` (request id, client
+id, method, endpoint, status, latency, the scheduler batch id that
+served a ``cov`` solve); the stdlib handler's printf-style messages
+are routed through the same log at ``debug`` level instead of being
+discarded. With ``service_rate_limit_rps`` (or an explicit
+``rate_limit_rps``) set, a per-client token bucket rejects over-quota
+**mutations** (``cov`` solves, ``fit``) with 429 + ``Retry-After``
+*before* they reach the scheduler queue; read-only traffic is never
+limited.
+
 The gateway binds loopback by default and has no authentication —
-``/save`` writes server-side paths — so treat it like any other
-unauthenticated ops port: keep it private.
+``/save`` writes server-side paths, and the client id is caller-
+asserted — so treat it like any other unauthenticated ops port: keep
+it private.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from .errors import InvalidRequest, ServiceError
+from .errors import InvalidRequest, RateLimited, ServiceError
+from .limiter import RateLimiter
+from .observability import AccessLog
 from .service import MoRERService
 
 __all__ = ["ServiceHTTPServer", "serve"]
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """HTTP server bound to one :class:`MoRERService`."""
+    """HTTP server bound to one :class:`MoRERService`.
+
+    Parameters
+    ----------
+    service : MoRERService
+        The service to expose.
+    address : (host, port)
+        Bind address; port ``0`` picks an ephemeral port.
+    log_requests : bool
+        Also emit the stdlib handler's per-request lines (routed
+        through the access log at ``debug`` level).
+    access_log : AccessLog, optional
+        Structured request log; defaults to JSON lines on stderr at
+        ``info`` level (``debug`` when ``log_requests``). Pass
+        ``AccessLog(level="off")`` to silence it.
+    rate_limit_rps, rate_burst : float, optional
+        Per-client token-bucket admission control; default to the
+        service config's ``service_rate_limit_rps`` /
+        ``service_rate_burst``. ``0`` disables limiting.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
 
     def __init__(self, service, address=("127.0.0.1", 8640),
-                 log_requests=False):
+                 log_requests=False, access_log=None,
+                 rate_limit_rps=None, rate_burst=None):
         self.service = service
         self.log_requests = log_requests
+        if access_log is None:
+            access_log = AccessLog(
+                level="debug" if log_requests else "info"
+            )
+        self.access_log = access_log
+        config = service.morer.config
+        if rate_limit_rps is None:
+            rate_limit_rps = config.service_rate_limit_rps
+        if rate_burst is None:
+            rate_burst = config.service_rate_burst
+        self.limiter = (
+            RateLimiter(rate_limit_rps, rate_burst or None)
+            if rate_limit_rps and rate_limit_rps > 0 else None
+        )
         super().__init__(tuple(address), _GatewayHandler)
 
     @property
@@ -63,6 +126,28 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         """The ``http://host:port`` base clients should use."""
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    def server_close(self):
+        super().server_close()
+        self.access_log.close()
+
+
+#: path -> handler method name, per HTTP method. Unknown paths are
+#: labelled "other" in metrics so a scanner cannot explode the
+#: endpoint label cardinality.
+_GET_ROUTES = {
+    "/healthz": "_get_healthz",
+    "/livez": "_get_livez",
+    "/readyz": "_get_readyz",
+    "/stats": "_get_stats",
+    "/metrics": "_get_metrics",
+}
+_POST_ROUTES = {
+    "/solve": "_post_solve",
+    "/solve_batch": "_post_solve_batch",
+    "/fit": "_post_fit",
+    "/save": "_post_save",
+}
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
@@ -72,19 +157,42 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if self.server.log_requests:
-            super().log_message(format, *args)
+        # The stdlib's printf-style access/error lines ("GET /x 200",
+        # send_error tracebacks). The structured access log is the
+        # primary record; these are forwarded at debug level so they
+        # stay inspectable (--log-requests) instead of vanishing.
+        self.server.access_log.debug(
+            source="stdlib",
+            client=self.address_string(),
+            request_id=getattr(self, "request_id", None),
+            message=format % args,
+        )
 
-    def _reply(self, status, payload):
-        body = json.dumps(payload).encode("utf-8")
+    def _send(self, status, body, content_type, retry_after=None):
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self.request_id)
+        if retry_after is not None:
+            self.send_header(
+                "Retry-After", str(max(1, math.ceil(retry_after)))
+            )
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply(self, status, payload):
+        self._send(status, json.dumps(payload).encode("utf-8"),
+                   "application/json")
+
     def _reply_error(self, error):
-        self._reply(error.http_status, {"error": error.to_dict()})
+        payload = {"error": error.to_dict(),
+                   "request_id": self.request_id}
+        self._send(
+            error.http_status, json.dumps(payload).encode("utf-8"),
+            "application/json",
+            retry_after=getattr(error, "retry_after", None),
+        )
 
     def _drain_body(self):
         """Consume an unread request body so HTTP/1.1 keep-alive
@@ -103,79 +211,204 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise InvalidRequest(f"request body is not valid JSON: {exc}")
 
-    def _handle(self, handler):
-        try:
-            self._reply(200, handler())
-        except ServiceError as error:
-            self._reply_error(error)
-        except Exception as exc:  # pragma: no cover - defensive 500
-            self._reply_error(ServiceError(f"internal error: {exc}"))
-
-    # -- routes ------------------------------------------------------------
+    # -- request lifecycle -------------------------------------------------
 
     def do_GET(self):
-        service = self.server.service
-        if self.path == "/healthz":
-            self._handle(service.healthz)
-        elif self.path == "/livez":
-            self._reply(200, {"live": True})
-        elif self.path == "/readyz":
-            health = service.healthz()
-            self._reply(200 if health.get("ready") else 503, health)
-        elif self.path == "/stats":
-            self._handle(lambda: service.stats().to_dict())
-        else:
-            self._drain_body()
-            self._reply(404, {"error": {
-                "code": "not_found", "message": f"no route {self.path}",
-            }})
+        self._route("GET", _GET_ROUTES)
 
     def do_POST(self):
-        service = self.server.service
-        routes = {
-            "/solve": self._post_solve,
-            "/solve_batch": self._post_solve_batch,
-            "/fit": self._post_fit,
-            "/save": self._post_save,
-        }
-        handler = routes.get(self.path)
-        if handler is None:
-            self._drain_body()
-            self._reply(404, {"error": {
-                "code": "not_found", "message": f"no route {self.path}",
-            }})
+        self._route("POST", _POST_ROUTES)
+
+    def _route(self, method, routes):
+        started = time.perf_counter()
+        self._status = 500
+        self._batch_id = None
+        self._error_code = None
+        self.request_id = (
+            (self.headers.get("X-Request-Id") or "").strip()[:64]
+            or uuid.uuid4().hex[:16]
+        )
+        self.client_id = (
+            (self.headers.get("X-Client-Id") or "").strip()[:128]
+            or self.client_address[0]
+        )
+        endpoint = self.path.split("?", 1)[0]
+        name = routes.get(endpoint)
+        try:
+            if name is None:
+                self._drain_body()
+                self._error_code = "not_found"
+                self._reply(404, {
+                    "error": {"code": "not_found",
+                              "message": f"no route {self.path}"},
+                    "request_id": self.request_id,
+                })
+            else:
+                payload = (
+                    self._read_json() if method == "POST" else None
+                )
+                self._admit(endpoint, payload)
+                getattr(self, name)(payload)
+        except ServiceError as error:
+            self._error_code = error.code
+            self._reply_error(error)
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._error_code = "service_error"
+            self._reply_error(ServiceError(f"internal error: {exc}"))
+        finally:
+            self._observe(
+                method, endpoint if name is not None else "other",
+                endpoint, time.perf_counter() - started,
+            )
+
+    def _observe(self, method, endpoint_label, endpoint, elapsed):
+        """Metrics + one structured access-log line per request."""
+        try:
+            metrics = self.server.service.metrics
+            metrics.http_requests_total.inc(
+                endpoint=endpoint_label, method=method,
+                status=str(self._status),
+            )
+            metrics.http_request_seconds.observe(
+                elapsed, endpoint=endpoint_label
+            )
+            fields = {
+                "request_id": self.request_id,
+                "client_id": self.client_id,
+                "method": method,
+                "endpoint": endpoint,
+                "status": self._status,
+                "latency_ms": round(elapsed * 1e3, 3),
+            }
+            if self._batch_id is not None:
+                fields["batch_id"] = self._batch_id
+            if self._error_code is not None:
+                fields["error"] = self._error_code
+            self.server.access_log.info(**fields)
+        except Exception:  # noqa: BLE001 - observing must never fail
+            pass
+
+    # -- admission control -------------------------------------------------
+
+    def _admit(self, endpoint, payload):
+        """Charge the client's token bucket for the mutations this
+        request carries, *before* anything reaches the scheduler."""
+        limiter = self.server.limiter
+        if limiter is None:
             return
-        self._handle(lambda: handler(service))
+        cost = self._mutation_cost(endpoint, payload)
+        if cost <= 0:
+            return
+        try:
+            limiter.check(self.client_id, cost)
+        except RateLimited:
+            self.server.service.metrics.http_rate_limited_total.inc(
+                endpoint=endpoint
+            )
+            raise
 
-    def _post_solve(self, service):
-        return service.solve(self._read_json()).to_dict()
+    def _mutation_cost(self, endpoint, payload):
+        """Tokens this request costs: one per mutating solve/fit.
 
-    def _post_solve_batch(self, service):
-        payload = self._read_json()
-        requests = payload.get("requests")
+        Malformed payloads cost nothing — the route handler rejects
+        them with a 400 that names the problem, which must win over a
+        confusing 429.
+        """
+        if endpoint == "/fit":
+            return 1
+        default = self.server.service.morer.config.selection
+        if endpoint == "/solve":
+            strategy = (
+                payload.get("strategy")
+                if isinstance(payload, dict) else None
+            )
+            return 1 if (strategy or default) == "cov" else 0
+        if endpoint == "/solve_batch":
+            requests = (
+                payload.get("requests")
+                if isinstance(payload, dict) else None
+            )
+            if not isinstance(requests, list):
+                return 0
+            cost = 0
+            for item in requests:
+                strategy = (
+                    item.get("strategy")
+                    if isinstance(item, dict) else None
+                )
+                if (strategy or default) == "cov":
+                    cost += 1
+            return cost
+        return 0    # /save: an operator checkpoint, not client traffic
+
+    # -- GET routes --------------------------------------------------------
+
+    def _get_healthz(self, _payload):
+        self._reply(200, self.server.service.healthz())
+
+    def _get_livez(self, _payload):
+        self._reply(200, {"live": True})
+
+    def _get_readyz(self, _payload):
+        health = self.server.service.healthz()
+        self._reply(200 if health.get("ready") else 503, health)
+
+    def _get_stats(self, _payload):
+        self._reply(200, self.server.service.stats().to_dict())
+
+    def _get_metrics(self, _payload):
+        metrics = self.server.service.metrics
+        if not metrics.enabled:
+            self._error_code = "not_found"
+            self._reply(404, {
+                "error": {"code": "not_found",
+                          "message": "metrics are disabled for this "
+                                     "service"},
+                "request_id": self.request_id,
+            })
+            return
+        body = metrics.render().encode("utf-8")
+        self._send(200, body,
+                   "text/plain; version=0.0.4; charset=utf-8")
+
+    # -- POST routes -------------------------------------------------------
+
+    def _post_solve(self, payload):
+        response = self.server.service.solve(payload).to_dict()
+        self._batch_id = response.get("batch_id")
+        self._reply(200, response)
+
+    def _post_solve_batch(self, payload):
+        requests = payload.get("requests") if isinstance(
+            payload, dict) else None
         if not isinstance(requests, list):
             raise InvalidRequest(
                 "solve_batch body must be {\"requests\": [...]}"
             )
-        outcomes = service.solve_batch_envelopes(requests)
+        outcomes = self.server.service.solve_batch_envelopes(requests)
         results = []
+        batch_ids = set()
         for outcome in outcomes:
             if isinstance(outcome, ServiceError):
                 results.append({"ok": False, "error": outcome.to_dict()})
             else:
-                results.append({"ok": True, "result": outcome.to_dict()})
-        return {"results": results}
+                result = outcome.to_dict()
+                if result.get("batch_id") is not None:
+                    batch_ids.add(result["batch_id"])
+                results.append({"ok": True, "result": result})
+        if batch_ids:
+            self._batch_id = sorted(batch_ids)
+        self._reply(200, {"results": results})
 
-    def _post_fit(self, service):
-        return service.fit(self._read_json()).to_dict()
+    def _post_fit(self, payload):
+        self._reply(200, self.server.service.fit(payload).to_dict())
 
-    def _post_save(self, service):
-        payload = self._read_json()
-        path = payload.get("path")
+    def _post_save(self, payload):
+        path = payload.get("path") if isinstance(payload, dict) else None
         if not isinstance(path, str) or not path:
             raise InvalidRequest("save body must be {\"path\": str}")
-        service.save(path)
-        return {"saved": path}
+        self.server.service.save(path)
+        self._reply(200, {"saved": path})
 
 
 def serve(morer_or_service, host="127.0.0.1", port=8640, **service_kwargs):

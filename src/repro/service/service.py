@@ -50,6 +50,11 @@ from .errors import (
     ServiceError,
     Unavailable,
 )
+from .observability import (
+    MetricsRegistry,
+    NullServiceMetrics,
+    ServiceMetrics,
+)
 from .rwlock import ReadWriteLock
 from .types import FitRequest, RepositoryStats, SolveRequest, SolveResponse
 
@@ -104,12 +109,20 @@ class MoRERService:
         When > 0 (requires ``checkpoint_store``), the scheduler saves a
         snapshot and truncates the WAL after every ``checkpoint_every``
         appended records, bounding replay time after a crash.
+    metrics : optional
+        Observability wiring (see :mod:`repro.service.observability`).
+        ``None`` (the default) builds a fresh
+        :class:`~repro.service.observability.ServiceMetrics`; pass a
+        :class:`~repro.service.observability.MetricsRegistry` (or a
+        ready ``ServiceMetrics``) to share one across services, or
+        ``False`` to disable instrumentation entirely (the
+        ``/metrics`` endpoint then answers 404).
     """
 
     def __init__(self, morer, max_batch_size=None, max_wait_ms=None,
                  max_queue_depth=None, retain_unsaved_journal=False,
                  wal_dir=None, fsync_policy=None, fsync_interval_ms=None,
-                 checkpoint_store=None, checkpoint_every=0):
+                 checkpoint_store=None, checkpoint_every=0, metrics=None):
         if not isinstance(morer, MoRER):
             raise InvalidRequest(
                 f"MoRERService serves a MoRER, got {type(morer).__name__}"
@@ -153,6 +166,16 @@ class MoRERService:
             "checkpoint_failures": 0,
             "unavailable_rejections": 0,
         }
+        if metrics is False:
+            self.metrics = NullServiceMetrics()
+        elif metrics is None:
+            self.metrics = ServiceMetrics()
+        elif isinstance(metrics, MetricsRegistry):
+            self.metrics = ServiceMetrics(registry=metrics)
+        else:
+            self.metrics = metrics
+        self.metrics.register_collect(self._collect_metrics)
+        self._tick_seq = 0
         self._degraded_reason = None
         self._last_checkpoint_error = None
         self._checkpoint_fail_streak = 0
@@ -417,6 +440,7 @@ class MoRERService:
         a fresh segment and deletes the old ones.
         """
         self._check_fitted()
+        started = time.perf_counter()
         with self._lock.write_lock():
             extras = None
             if self._wal is not None:
@@ -444,11 +468,16 @@ class MoRERService:
                     # The snapshot is safe; the WAL may not be. Refuse
                     # further mutations rather than risk un-replayable
                     # acks.
-                    self._degraded_reason = f"checkpoint failed: {exc}"
+                    self._enter_degraded(f"checkpoint failed: {exc}")
                     self._bump("checkpoint_failures")
+                    self.metrics.checkpoints_total.inc(outcome="failed")
                 else:
                     self._last_checkpoint_seq = self._wal.seq
                     self._bump("checkpoints")
+                    self.metrics.checkpoints_total.inc(outcome="ok")
+                    self.metrics.checkpoint_seconds.observe(
+                        time.perf_counter() - started
+                    )
         self._bump("saves")
 
     def stats(self):
@@ -568,6 +597,7 @@ class MoRERService:
         with self._lock.read_lock():
             result = self._morer.solve(problem, strategy="base")
         self._bump("base_solves")
+        self.metrics.solves_total.inc(strategy="base")
         return SolveResponse.from_result(result)
 
     def _submit_cov(self, problem):
@@ -585,6 +615,9 @@ class MoRERService:
                 raise ServiceError("the service is closed")
             if len(self._queue) + len(pendings) > self.max_queue_depth:
                 self._bump("overload_rejections")
+                self.metrics.queue_rejections_total.inc(
+                    reason="overloaded"
+                )
                 raise Overloaded(
                     f"solve queue is full ({self.max_queue_depth} "
                     "pending cov requests); retry with backoff"
@@ -631,6 +664,7 @@ class MoRERService:
         ]
         if not batch:
             return
+        started = time.perf_counter()
         try:
             results = self._solve_tick(
                 [pending.problem for pending in batch]
@@ -647,19 +681,29 @@ class MoRERService:
             for pending in batch:
                 self._dispatch_single(pending)
             return
-        self._record_tick(len(batch))
+        tick_id = self._record_tick(
+            len(batch), seconds=time.perf_counter() - started,
+            results=results,
+        )
         for pending, result in zip(batch, results):
-            pending.future.set_result(SolveResponse.from_result(result))
+            response = SolveResponse.from_result(result)
+            response.batch_id = tick_id
+            pending.future.set_result(response)
 
     def _dispatch_single(self, pending):
         """Degraded per-request path after a failed coalesced tick."""
+        started = time.perf_counter()
         try:
             result = self._solve_tick([pending.problem])[0]
         except BaseException as exc:
             pending.future.set_exception(self._translate(exc))
             return
-        self._record_tick(1)
-        pending.future.set_result(SolveResponse.from_result(result))
+        tick_id = self._record_tick(
+            1, seconds=time.perf_counter() - started, results=[result],
+        )
+        response = SolveResponse.from_result(result)
+        response.batch_id = tick_id
+        pending.future.set_result(response)
 
     def _solve_tick(self, problems):
         """One write-locked ``solve_batch``; the lazy search caches are
@@ -695,16 +739,22 @@ class MoRERService:
                 "the service is degraded (WAL append failed: "
                 f"{self._degraded_reason}); mutations are rejected"
             )
+        started = time.perf_counter()
         try:
             seq = self._wal.append(payload)
         except (WALError, OSError, InjectedFault) as exc:
-            self._degraded_reason = str(exc) or repr(exc)
+            self._enter_degraded(str(exc) or repr(exc))
             self._bump("wal_failures")
+            self.metrics.wal_append_failures_total.inc()
             raise Unavailable(
                 "WAL append failed; durability lost — mutations are "
                 f"rejected, read-only solves continue ({exc})"
             ) from exc
         self._bump("wal_records")
+        self.metrics.wal_appends_total.inc()
+        self.metrics.wal_append_seconds.observe(
+            time.perf_counter() - started
+        )
         return seq
 
     def _note_epoch(self, event):
@@ -722,6 +772,7 @@ class MoRERService:
         reproduce it — refusing is the honest failure mode."""
         if self._wal is not None and self._degraded_reason is not None:
             self._bump("unavailable_rejections")
+            self.metrics.queue_rejections_total.inc(reason="unavailable")
             raise Unavailable(
                 "the service is degraded (WAL append failed: "
                 f"{self._degraded_reason}); mutating operations are "
@@ -752,6 +803,7 @@ class MoRERService:
             self.save(self._checkpoint_store)
         except Exception as exc:  # noqa: BLE001 - scheduler must survive
             self._bump("checkpoint_failures")
+            self.metrics.checkpoints_total.inc(outcome="failed")
             self._checkpoint_fail_streak += 1
             self._last_checkpoint_error = f"{type(exc).__name__}: {exc}"
             print(
@@ -761,7 +813,7 @@ class MoRERService:
                 file=sys.stderr, flush=True,
             )
             if self._checkpoint_fail_streak >= self.CHECKPOINT_FAILURE_LIMIT:
-                self._degraded_reason = (
+                self._enter_degraded(
                     f"{self._checkpoint_fail_streak} consecutive "
                     f"checkpoint failures (last: "
                     f"{self._last_checkpoint_error}); the WAL cannot be "
@@ -771,7 +823,9 @@ class MoRERService:
             self._checkpoint_fail_streak = 0
             self._last_checkpoint_error = None
 
-    def _record_tick(self, n_solves):
+    def _record_tick(self, n_solves, seconds=0.0, results=None):
+        """Account one dispatched tick; returns its id (the batch id
+        stamped on every response the tick produced)."""
         # Counters first: a caller observing its resolved future must
         # find stats() already reflecting the completed solve.
         with self._counter_lock:
@@ -780,6 +834,23 @@ class MoRERService:
             self.counters["max_coalesced"] = max(
                 self.counters["max_coalesced"], n_solves
             )
+            self._tick_seq += 1
+            tick_id = self._tick_seq
+        metrics = self.metrics
+        metrics.scheduler_ticks_total.inc()
+        metrics.scheduler_coalesced_requests_total.inc(n_solves)
+        metrics.scheduler_tick_seconds.observe(seconds)
+        metrics.scheduler_batch_size.observe(n_solves)
+        metrics.solves_total.inc(n_solves, strategy="cov")
+        for result in results or ():
+            if result.retrained:
+                decision = "retrain"
+            elif result.new_model:
+                decision = "new_model"
+            else:
+                decision = "reuse"
+            metrics.solve_decisions_total.inc(decision=decision)
+        return tick_id
 
     def _after_mutation(self):
         """Write-lock-held bookkeeping after fit / cov / load.
@@ -813,6 +884,45 @@ class MoRERService:
         if isinstance(exc, ValueError):
             return InvalidRequest(str(exc))
         return exc
+
+    def _enter_degraded(self, reason):
+        """Flip to degraded mode (idempotent), counting the
+        transition. Degraded mode clears only on restart, so the first
+        reason wins — later failures are symptoms of the same outage."""
+        if self._degraded_reason is None:
+            self._degraded_reason = reason
+            self.metrics.degraded_transitions_total.inc()
+
+    def _collect_metrics(self):
+        """Pull-time gauges, refreshed at every ``/metrics`` scrape.
+
+        Runs on the scraping thread without the service locks (a
+        scrape must never queue behind a fit): the reads are single
+        attribute/len lookups that are safe under the GIL, and a
+        value torn across a concurrent mutation is acceptable for
+        monitoring.
+        """
+        metrics = self.metrics
+        with self._queue_cond:
+            depth = len(self._queue)
+        metrics.queue_depth.set(depth)
+        metrics.degraded.set(
+            1.0 if self._degraded_reason is not None else 0.0
+        )
+        wal = self._wal
+        if wal is not None:
+            metrics.wal_seq.set(wal.seq)
+            metrics.wal_fsyncs_total.set_total(wal.fsyncs)
+            metrics.wal_fsync_seconds_total.set_total(wal.fsync_seconds)
+        morer = self._morer
+        try:
+            if morer.repository is not None:
+                metrics.repository_entries.set(len(morer.repository))
+                metrics.labels_spent.set(morer.total_labels_spent())
+            if morer.problem_graph is not None:
+                metrics.graph_problems.set(len(morer.problem_graph))
+        except Exception:  # noqa: BLE001 - mid-mutation scrape
+            pass
 
     def _bump(self, counter):
         with self._counter_lock:

@@ -126,7 +126,10 @@ class SolveResponse:
     problem's feature rows; the remaining fields carry the provenance
     a client needs (which entry served it, whether a retrain or a new
     model happened, labels spent, Eq. 13 coverage, attributed
-    overhead).
+    overhead). ``batch_id`` names the scheduler tick that served a
+    ``cov`` request (``None`` for ``base`` solves) — the gateway's
+    structured access log carries it, so one coalesced batch can be
+    correlated across the request logs of every client it served.
     """
 
     predictions: np.ndarray
@@ -137,6 +140,7 @@ class SolveResponse:
     labels_spent: int = 0
     coverage: float = 0.0
     overhead_seconds: float = 0.0
+    batch_id: int = None
 
     @classmethod
     def from_result(cls, result):
@@ -179,12 +183,16 @@ class SolveResponse:
             "labels_spent": int(self.labels_spent),
             "coverage": float(self.coverage),
             "overhead_seconds": float(self.overhead_seconds),
+            "batch_id": (
+                None if self.batch_id is None else int(self.batch_id)
+            ),
         }
 
     @classmethod
     def from_dict(cls, data):
         predictions = _require(data, "predictions", list, "solve response")
         similarity = data.get("similarity")
+        batch_id = data.get("batch_id")
         return cls(
             predictions=np.asarray(predictions, dtype=int),
             cluster_id=int(_require(data, "cluster_id", int,
@@ -196,6 +204,7 @@ class SolveResponse:
             labels_spent=int(data.get("labels_spent", 0)),
             coverage=float(data.get("coverage", 0.0)),
             overhead_seconds=float(data.get("overhead_seconds", 0.0)),
+            batch_id=None if batch_id is None else int(batch_id),
         )
 
 

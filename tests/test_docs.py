@@ -1,0 +1,23 @@
+"""Tier-1 wrapper around the docs consistency gate.
+
+Runs ``scripts/check_docs.py`` (stdlib-only: markdown link/anchor
+resolution plus SERVICE_METRIC_SPECS ↔ OPERATIONS.md drift) in a
+subprocess so local ``pytest`` catches documentation rot without
+waiting for CI's docs job.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_docs_consistent():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "docs ok" in result.stdout, result.stdout
