@@ -1,0 +1,70 @@
+"""`repro lint`: repo-invariant static analysis for the serving stack.
+
+The repository's correctness rests on invariants no generic linter
+checks — mutations only under the write lock, replayed paths drawing
+only from injected RNG/clocks, metric and error vocabularies that
+match their documentation. This package is the paper's
+filter-then-verify thesis applied to our own tree: a cheap structural
+AST pass catches invariant violations at lint time, before they become
+a fault-injection failure (or a silent replay divergence) several PRs
+later.
+
+Entry points
+------------
+- ``repro lint [PATHS] [--strict] [--format json]`` (the CLI)
+- ``python -m repro.analysis`` (same flags)
+- :func:`repro.analysis.run_lint` (programmatic)
+
+Shipped rules
+-------------
+========  ==============================================================
+REP000    analyzer meta-findings (syntax errors, malformed or unknown
+          suppressions, unparseable spec literals)
+REP001    lock discipline: ``@requires_write_lock`` /
+          ``@requires_read_lock`` callees only reached under the
+          matching ``self._lock`` context; no fsync/WAL append under
+          the read lock
+REP002    replay determinism: no module-global ``random.*`` /
+          ``np.random.*`` draws or wall-clock reads in ``core/``,
+          ``durability/`` and ``service/`` — injected RNG/clock only
+REP003    metrics drift: every ``ServiceMetrics`` emission resolves to
+          a ``SERVICE_METRIC_SPECS`` entry, and every spec is emitted
+REP004    error-mapping completeness: every ``ServiceError`` subclass
+          declares ``code`` + ``http_status`` and is documented in the
+          envelope docs
+REP005    exception hygiene: ``except Exception`` requires the
+          established ``# noqa: BLE001 - reason`` justification
+========  ==============================================================
+
+Findings can be suppressed inline (``# repro: ignore[REP001] - why``)
+or grandfathered in a checked-in baseline file
+(``.repro-lint-baseline.json``); see ``docs/DEVELOPMENT.md``.
+"""
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .framework import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    all_rules,
+    get_rule,
+    rule,
+)
+from .runner import LintReport, main, run_lint
+
+__all__ = [
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "LintReport",
+    "rule",
+    "all_rules",
+    "get_rule",
+    "run_lint",
+    "main",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]

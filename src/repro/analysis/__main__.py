@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the ``repro lint`` entry point."""
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Baseline workflow: grandfather findings without losing them.
+
+The baseline file (``.repro-lint-baseline.json``, checked in at the
+repository root) holds fingerprints — ``(rule, path, message)``, no
+line numbers — of findings that predate a rule and are tolerated until
+fixed. A lint run subtracts baselined findings from its output;
+``--strict`` additionally fails when a baseline entry no longer
+matches anything (the debt was paid — delete the entry so it cannot
+mask a regression later).
+
+``repro lint --write-baseline`` regenerates the file from the current
+findings; an empty tree writes an empty baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+__all__ = [
+    "BASELINE_NAME",
+    "discover_baseline",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_NAME = ".repro-lint-baseline.json"
+_VERSION = 1
+
+
+def discover_baseline(start):
+    """Walk up from ``start`` to the first directory holding a
+    baseline file (or a ``.git`` marker, where one *would* live);
+    returns the baseline path or ``None``."""
+    node = Path(start).resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        baseline = candidate / BASELINE_NAME
+        if baseline.exists():
+            return baseline
+        if (candidate / ".git").exists():
+            return None
+    return None
+
+
+def load_baseline(path):
+    """Fingerprint multiset from a baseline file (missing file = empty)."""
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    return Counter(
+        (entry["rule"], entry["path"], entry["message"])
+        for entry in data.get("findings", [])
+    )
+
+
+def write_baseline(path, findings):
+    """Serialise ``findings`` as the new baseline (sorted, stable)."""
+    entries = [
+        {"rule": rule, "path": rel, "message": message}
+        for rule, rel, message in sorted(
+            finding.fingerprint for finding in findings
+        )
+    ]
+    payload = {"version": _VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def apply_baseline(findings, baseline):
+    """Split findings into (new, baselined) and report stale entries.
+
+    Returns ``(new_findings, n_baselined, stale)`` where ``stale`` is
+    the sorted list of baseline fingerprints that matched nothing —
+    paid-off debt that should be removed from the file.
+    """
+    remaining = Counter(baseline)
+    new, baselined = [], 0
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            baselined += 1
+        else:
+            new.append(finding)
+    stale = sorted(
+        fingerprint for fingerprint, count in remaining.items()
+        if count > 0
+    )
+    return new, baselined, stale

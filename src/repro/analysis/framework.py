@@ -1,0 +1,254 @@
+"""Checker framework: findings, parsed sources, suppressions, registry.
+
+Everything here is stdlib-only (``ast`` + ``re``); rules never import
+the modules they check, so the analyzer runs on trees that do not
+import (and in CI jobs without the runtime dependencies).
+
+Suppression grammar
+-------------------
+A finding on line *N* is suppressed when line *N* — or the pure
+comment line directly above it — carries::
+
+    # repro: ignore[REP001]
+    # repro: ignore[REP001,REP005] - justification text
+
+The rule list is mandatory (``[*]`` suppresses every rule on that
+line); unknown rule names in a suppression are themselves reported as
+``REP000`` so a typo cannot silently disable checking. ``REP000``
+meta-findings cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "Project",
+    "Rule",
+    "rule",
+    "all_rules",
+    "get_rule",
+    "META_RULE",
+    "dotted_name",
+    "terminal_name",
+]
+
+#: Rule id of analyzer meta-findings (never suppressable).
+META_RULE = "REP000"
+
+_SUPPRESS = re.compile(
+    r"#\s*repro:\s*ignore\[([^\]]*)\](?:\s*-\s*(.*))?"
+)
+_RULE_ID = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str           # posix path relative to the project root
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self):
+        """Baseline identity: deliberately line-number-free so a
+        grandfathered finding survives unrelated edits above it."""
+        return (self.rule, self.path, self.message)
+
+    def format(self):
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_dict(self):
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class _SuppressionComment:
+    line: int
+    rules: frozenset       # rule ids, or {"*"}
+    raw: str
+
+
+class SourceFile:
+    """One parsed source file plus its suppression comments."""
+
+    def __init__(self, path, root, text=None):
+        self.path = Path(path)
+        self.root = Path(root)
+        if text is None:
+            text = self.path.read_text(encoding="utf-8")
+        self.text = text
+        self.lines = text.splitlines()
+        try:
+            self.rel = self.path.resolve().relative_to(
+                self.root.resolve()
+            ).as_posix()
+        except ValueError:
+            self.rel = self.path.as_posix()
+        self.syntax_error = None
+        try:
+            self.tree = ast.parse(text, filename=str(self.path))
+        except SyntaxError as exc:
+            self.tree = None
+            self.syntax_error = exc
+        self.suppressions = self._parse_suppressions()
+
+    def _parse_suppressions(self):
+        """Suppression comments, via :mod:`tokenize` so the grammar
+        inside string literals (docstrings, messages) never counts."""
+        found = []
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.text).readline
+            )
+            comments = [
+                (token.start[0], token.string) for token in tokens
+                if token.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return found
+        for lineno, comment in comments:
+            match = _SUPPRESS.search(comment)
+            if match is None:
+                continue
+            names = frozenset(
+                name.strip() for name in match.group(1).split(",")
+                if name.strip()
+            )
+            found.append(
+                _SuppressionComment(lineno, names, comment.strip())
+            )
+        return found
+
+    def _rules_suppressed_at(self, line):
+        rules = set()
+        for comment in self.suppressions:
+            if comment.line == line:
+                rules |= comment.rules
+            elif comment.line == line - 1:
+                # A pure comment line directly above the statement
+                # covers it too (long signatures have no room inline).
+                above = self.lines[comment.line - 1].lstrip()
+                if above.startswith("#"):
+                    rules |= comment.rules
+        return rules
+
+    def is_suppressed(self, finding):
+        if finding.rule == META_RULE:
+            return False
+        rules = self._rules_suppressed_at(finding.line)
+        return finding.rule in rules or "*" in rules
+
+    def meta_findings(self, known_rules):
+        """REP000 findings for this file: syntax errors and malformed
+        or unknown suppression comments."""
+        out = []
+        if self.syntax_error is not None:
+            exc = self.syntax_error
+            out.append(Finding(
+                META_RULE, self.rel, exc.lineno or 1, exc.offset or 0,
+                f"file does not parse: {exc.msg}",
+            ))
+        for comment in self.suppressions:
+            if not comment.rules:
+                out.append(Finding(
+                    META_RULE, self.rel, comment.line, 0,
+                    "suppression lists no rules; use "
+                    "'# repro: ignore[REP00N]' (or [*])",
+                ))
+                continue
+            for name in sorted(comment.rules):
+                if name == "*":
+                    continue
+                if not _RULE_ID.match(name) or name not in known_rules:
+                    out.append(Finding(
+                        META_RULE, self.rel, comment.line, 0,
+                        f"suppression names unknown rule {name!r}",
+                    ))
+        return out
+
+
+@dataclass
+class Project:
+    """Everything one lint run looks at: parsed sources + doc files."""
+
+    root: Path
+    files: list = field(default_factory=list)
+    docs: list = field(default_factory=list)  # markdown Paths (REP004)
+
+    def trees(self):
+        """(file, tree) for every file that parsed."""
+        return [(f, f.tree) for f in self.files if f.tree is not None]
+
+
+class Rule:
+    """Base class: subclasses set ``rule``/``title`` and implement
+    :meth:`check`, yielding :class:`Finding`\\ s for a project."""
+
+    rule = None
+    title = None
+
+    def check(self, project):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+_REGISTRY = {}
+
+
+def rule(cls):
+    """Class decorator registering a :class:`Rule` by its id."""
+    if not cls.rule or not _RULE_ID.match(cls.rule):
+        raise ValueError(f"rule class {cls.__name__} needs a REPnnn id")
+    if cls.rule in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule}")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def all_rules():
+    """id -> rule class, registration-ordered (imports the bundled
+    rule modules on first use)."""
+    from . import rules as _bundled  # noqa: F401 - registration import
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id):
+    return all_rules()[rule_id]
+
+
+def dotted_name(node):
+    """``a.b.c`` for nested Attribute/Name chains, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node):
+    """The last identifier of an Attribute/Name chain (``c`` of
+    ``a.b.c``), else ``None``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -1,0 +1,11 @@
+"""Bundled rules; importing this package registers them all."""
+
+from . import (  # noqa: F401 - imported for registration side effects
+    determinism,
+    errors,
+    exceptions,
+    locks,
+    metrics,
+)
+
+__all__ = ["locks", "determinism", "metrics", "errors", "exceptions"]

@@ -1,0 +1,118 @@
+"""REP002 — replay determinism: injected RNG and clocks only.
+
+WAL replay (PR 6's crashed-vs-uncrashed twin tests) is
+decision-identical *only* because every replayed path draws from the
+seeded RNG stream carried in the MoRER session and never consults the
+wall clock. One module-global ``random.random()`` on a replayed path
+silently breaks that: the live run and the recovery run draw different
+numbers and diverge without any error.
+
+Scope: files whose path (relative to the scan root) passes through
+``core/``, ``durability/`` or ``service/``. Flagged **calls**:
+
+- ``random.<fn>(...)`` for any fn except the seedable ``Random``
+  constructor (``SystemRandom`` is OS entropy — never replayable);
+- ``np.random.<fn>(...)`` / ``numpy.random.<fn>(...)`` except the
+  seedable generator constructors (``default_rng``, ``Generator``,
+  ``RandomState``, ``SeedSequence`` and the bit generators);
+- wall-clock reads: ``time.time()``, ``time.time_ns()``,
+  ``localtime``/``gmtime``/``ctime``/``asctime``/``strftime``, and
+  ``datetime``/``date`` ``now``/``utcnow``/``today``.
+
+Monotonic/performance clocks (``time.monotonic``,
+``time.perf_counter``, ``time.process_time``) are telemetry, not
+decisions, and stay allowed. Bare *references* (``clock=time.time`` as
+an injectable default argument) are allowed everywhere — the rule
+flags only call sites, which is exactly the injection seam it wants
+you to thread a parameter through.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..framework import Finding, Rule, rule, terminal_name
+
+__all__ = ["ReplayDeterminism"]
+
+#: Directory names (relative to the scan root) on the replayed path.
+SCOPED_DIRS = frozenset({"core", "durability", "service"})
+
+_ALLOWED_RANDOM = frozenset({"Random"})
+_ALLOWED_NP_RANDOM = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+_WALL_CLOCK_TIME = frozenset({
+    "time", "time_ns", "localtime", "gmtime", "ctime", "asctime",
+    "strftime",
+})
+_WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+_DATETIME_RECEIVERS = frozenset({"datetime", "date"})
+
+
+def in_scope(source):
+    parts = source.rel.split("/")[:-1]
+    return any(part in SCOPED_DIRS for part in parts)
+
+
+@rule
+class ReplayDeterminism(Rule):
+    rule = "REP002"
+    title = "replay determinism"
+
+    def check(self, project):
+        findings = []
+        for source, tree in project.trees():
+            if not in_scope(source):
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Call):
+                    message = _violation(node.func)
+                    if message is not None:
+                        findings.append(Finding(
+                            self.rule, source.rel, node.lineno,
+                            node.col_offset, message,
+                        ))
+        return findings
+
+
+def _violation(func):
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    receiver = func.value
+
+    if isinstance(receiver, ast.Name):
+        if receiver.id == "random" and attr not in _ALLOWED_RANDOM:
+            return (
+                f"module-global random.{attr}() on a replayed path — "
+                "draw from an injected seeded random.Random instead"
+            )
+        if receiver.id == "time" and attr in _WALL_CLOCK_TIME:
+            return (
+                f"wall-clock time.{attr}() on a replayed path — "
+                "inject a clock (time.monotonic/perf_counter are fine "
+                "for telemetry)"
+            )
+
+    # np.random.<fn> / numpy.random.<fn>
+    if (isinstance(receiver, ast.Attribute)
+            and receiver.attr == "random"
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id in ("np", "numpy")
+            and attr not in _ALLOWED_NP_RANDOM):
+        return (
+            f"module-global {receiver.value.id}.random.{attr}() on a "
+            "replayed path — use a seeded np.random.default_rng "
+            "threaded through the call"
+        )
+
+    if attr in _WALL_CLOCK_DATETIME:
+        name = terminal_name(receiver)
+        if name in _DATETIME_RECEIVERS:
+            return (
+                f"wall-clock {name}.{attr}() on a replayed path — "
+                "inject a clock instead"
+            )
+    return None

@@ -1,0 +1,119 @@
+"""REP004 — error-mapping completeness for ``ServiceError`` trees.
+
+The gateway maps typed service errors to wire envelopes through two
+class attributes (``code``, ``http_status``) and documents the
+vocabulary in the envelope docs (``docs/OPERATIONS.md``). A subclass
+that forgets either attribute silently inherits its parent's — two
+distinct failures then share one wire code, and clients cannot tell
+them apart; a code missing from the docs is an envelope operators
+will meet for the first time during an outage.
+
+The rule finds every class transitively derived from a class named
+``ServiceError`` in the scanned tree and checks that each (root
+included) declares **its own** ``code`` (string literal) and
+``http_status`` (integer literal), that no two classes share a code,
+and — when envelope docs are present — that every code appears there.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..framework import Finding, Rule, rule, terminal_name
+
+__all__ = ["ErrorMapping"]
+
+ROOT_CLASS = "ServiceError"
+
+
+def _class_attr_literal(cls, name):
+    """The literal assigned to ``name`` in the class body, or None."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            ]
+            if name in targets and isinstance(stmt.value, ast.Constant):
+                return stmt.value.value
+        elif (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == name
+                and isinstance(stmt.value, ast.Constant)):
+            return stmt.value.value
+    return None
+
+
+@rule
+class ErrorMapping(Rule):
+    rule = "REP004"
+    title = "error-mapping completeness"
+
+    def check(self, project):
+        classes = {}     # name -> (source, node, base names)
+        for source, tree in project.trees():
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ClassDef):
+                    bases = [
+                        terminal_name(base) for base in node.bases
+                    ]
+                    classes.setdefault(
+                        node.name, (source, node, bases)
+                    )
+        if ROOT_CLASS not in classes:
+            return []
+
+        # Transitive closure over in-project inheritance edges.
+        family = {ROOT_CLASS}
+        grew = True
+        while grew:
+            grew = False
+            for name, (_, _, bases) in classes.items():
+                if name not in family and family.intersection(bases):
+                    family.add(name)
+                    grew = True
+
+        findings = []
+        codes = {}
+        doc_text = "".join(
+            path.read_text(encoding="utf-8") for path in project.docs
+            if path.exists()
+        )
+        # Definition order, so a duplicated wire code is reported at
+        # the *second* definition, not whichever sorts first.
+        ordered = sorted(
+            family,
+            key=lambda n: (classes[n][0].rel, classes[n][1].lineno),
+        )
+        for name in ordered:
+            source, node, _ = classes[name]
+            code = _class_attr_literal(node, "code")
+            status = _class_attr_literal(node, "http_status")
+            if not isinstance(code, str):
+                findings.append(Finding(
+                    self.rule, source.rel, node.lineno, node.col_offset,
+                    f"{name}: no own 'code' string — it would share "
+                    "its parent's wire code",
+                ))
+                continue
+            if not isinstance(status, int):
+                findings.append(Finding(
+                    self.rule, source.rel, node.lineno, node.col_offset,
+                    f"{name}: no own 'http_status' mapping — the "
+                    "gateway would answer with the parent's status",
+                ))
+            if code in codes:
+                findings.append(Finding(
+                    self.rule, source.rel, node.lineno, node.col_offset,
+                    f"{name}: wire code '{code}' is already used by "
+                    f"{codes[code]} — codes must be unique",
+                ))
+            else:
+                codes[code] = name
+            if doc_text and code not in doc_text:
+                findings.append(Finding(
+                    self.rule, source.rel, node.lineno, node.col_offset,
+                    f"{name}: wire code '{code}' is not documented in "
+                    "the envelope docs "
+                    "(docs/OPERATIONS.md error reference)",
+                ))
+        return findings

@@ -1,0 +1,71 @@
+"""REP005 — exception hygiene: blind catches need a stated reason.
+
+The tree's convention (established in the durability and observability
+layers) is that a deliberate blanket catch carries its justification
+inline::
+
+    except Exception:  # noqa: BLE001 - a scrape must not 500
+
+The rule enforces exactly that: every ``except Exception`` /
+``except BaseException`` handler (bare ``except:`` included, directly
+or inside a tuple) must have ``# noqa: BLE001 - <reason>`` on the
+``except`` line, with a non-empty reason. A blanket catch without a
+reason is where swallowed ``KeyboardInterrupt``\\ s, hidden scheduler
+deaths and silently-eaten WAL errors come from.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..framework import Finding, Rule, rule
+
+__all__ = ["ExceptionHygiene"]
+
+_BLIND = frozenset({"Exception", "BaseException"})
+_JUSTIFIED = re.compile(r"#\s*noqa:\s*BLE001\b\s*-\s*\S")
+
+
+def _blind_name(type_node):
+    """The blind exception name a handler catches, or ``None``."""
+    if type_node is None:
+        return "bare except"
+    nodes = (
+        type_node.elts if isinstance(type_node, ast.Tuple)
+        else [type_node]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in _BLIND:
+            return node.id
+        if isinstance(node, ast.Attribute) and node.attr in _BLIND:
+            return node.attr
+    return None
+
+
+@rule
+class ExceptionHygiene(Rule):
+    rule = "REP005"
+    title = "exception hygiene"
+
+    def check(self, project):
+        findings = []
+        for source, tree in project.trees():
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                caught = _blind_name(node.type)
+                if caught is None:
+                    continue
+                line = ""
+                if 0 < node.lineno <= len(source.lines):
+                    line = source.lines[node.lineno - 1]
+                if _JUSTIFIED.search(line):
+                    continue
+                findings.append(Finding(
+                    self.rule, source.rel, node.lineno, node.col_offset,
+                    f"blind '{caught}' catch without justification — "
+                    "append '# noqa: BLE001 - <reason>' (or narrow "
+                    "the exception)",
+                ))
+        return findings

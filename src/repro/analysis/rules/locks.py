@@ -1,0 +1,226 @@
+"""REP001 — lock discipline for :class:`ReadWriteLock` classes.
+
+Ground truth is the ``@requires_write_lock`` / ``@requires_read_lock``
+markers from :mod:`repro.service.rwlock`. For every class, the rule
+walks each method with a lexical lock-context state machine:
+
+- ``with self._lock.write_lock():`` bodies are *write* context,
+  ``with self._lock.read_lock():`` bodies are *read* context;
+- a method marked ``@requires_write_lock`` starts in write context, a
+  ``@requires_read_lock`` one in read context (its caller holds at
+  least the read side);
+- nested function/lambda bodies reset to no context — a deferred call
+  runs whenever its closure fires, not under today's lock.
+
+Violations:
+
+- a call to a write-marked method outside write context;
+- a call to a read-marked method outside read *and* write context;
+- a durability mutation under the **read** lock: any ``*.fsync(...)``
+  call, or an ``append``/``checkpoint`` on a receiver whose name
+  mentions the WAL (``self._wal.append(...)``) — readers share the
+  lock, so a reader that writes breaks every concurrent reader's
+  snapshot and the WAL's ordering guarantee;
+- a marked method re-acquiring ``self._lock`` (the lock is not
+  reentrant — that is a guaranteed deadlock, not a latent one).
+
+The walk is lexical and per-class (``self.method()`` calls only);
+cross-object calls are out of scope by design — the runtime debug
+assertions in :mod:`repro.service.rwlock` backstop what the static
+pass cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..framework import Finding, Rule, rule, terminal_name
+
+__all__ = ["LockDiscipline"]
+
+_MARKERS = {
+    "requires_write_lock": "write",
+    "requires_read_lock": "read",
+}
+_LOCK_CTX = {"write_lock": "write", "read_lock": "read"}
+#: Receiver-name fragments that identify the write-ahead log.
+_WAL_HINTS = ("wal",)
+#: Method names that mutate durable state when called on a WAL.
+_WAL_MUTATORS = {"append", "checkpoint", "truncate"}
+
+
+def _marker_mode(decorator):
+    """The lock mode a decorator node declares, or ``None``."""
+    name = terminal_name(decorator)
+    if name is None and isinstance(decorator, ast.Call):
+        name = terminal_name(decorator.func)
+    return _MARKERS.get(name)
+
+
+def _lock_context(item):
+    """``"write"``/``"read"`` when a with-item enters ``*.write_lock()``
+    / ``*.read_lock()`` on an attribute whose name mentions a lock."""
+    expr = item.context_expr
+    if not (isinstance(expr, ast.Call) and not expr.args
+            and not expr.keywords):
+        return None
+    mode = _LOCK_CTX.get(terminal_name(expr.func))
+    if mode is None:
+        return None
+    receiver = expr.func.value if isinstance(
+        expr.func, ast.Attribute) else None
+    name = terminal_name(receiver)
+    if name is None or "lock" not in name.lower():
+        return None
+    return mode
+
+
+def _is_self_call(call):
+    """Method name for ``self.name(...)`` calls, else ``None``."""
+    func = call.func
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"):
+        return func.attr
+    return None
+
+
+@rule
+class LockDiscipline(Rule):
+    rule = "REP001"
+    title = "lock discipline"
+
+    def check(self, project):
+        findings = []
+        for source, tree in project.trees():
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ClassDef):
+                    findings.extend(self._check_class(source, node))
+        return findings
+
+    def _check_class(self, source, cls):
+        methods = {}
+        marked = {}
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods[stmt.name] = stmt
+                for decorator in stmt.decorator_list:
+                    mode = _marker_mode(decorator)
+                    if mode is not None:
+                        marked[stmt.name] = mode
+        findings = []
+        for name, method in methods.items():
+            entry = marked.get(name)
+            walker = _MethodWalker(source, cls, name, marked, entry)
+            for stmt in method.body:
+                walker.visit(stmt)
+            findings.extend(walker.findings)
+        return findings
+
+
+class _MethodWalker(ast.NodeVisitor):
+    """Walks one method body carrying the lexical lock context."""
+
+    def __init__(self, source, cls, method_name, marked, entry_context):
+        self.source = source
+        self.cls = cls
+        self.method_name = method_name
+        self.marked = marked
+        self.context = entry_context     # None | "read" | "write"
+        self.entry_context = entry_context
+        self.findings = []
+
+    # -- context transitions ----------------------------------------------
+
+    def visit_With(self, node):
+        pushed = self.context
+        for item in node.items:
+            mode = _lock_context(item)
+            if mode is not None:
+                if self.entry_context is not None:
+                    self._report(
+                        item.context_expr,
+                        f"method '{self.method_name}' is marked "
+                        f"@requires_{self.entry_context}_lock but "
+                        f"re-acquires the {mode} lock — the lock is "
+                        "not reentrant (deadlock)",
+                    )
+                self.context = mode
+            if item.context_expr is not None:
+                self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.context = pushed
+
+    visit_AsyncWith = visit_With
+
+    def _visit_deferred(self, node):
+        # A nested def/lambda body runs when called, not here: no
+        # inherited lock context (and no entry marker either).
+        pushed_ctx, pushed_entry = self.context, self.entry_context
+        self.context, self.entry_context = None, None
+        self.generic_visit(node)
+        self.context, self.entry_context = pushed_ctx, pushed_entry
+
+    visit_FunctionDef = _visit_deferred
+    visit_AsyncFunctionDef = _visit_deferred
+    visit_Lambda = _visit_deferred
+
+    # -- checks ------------------------------------------------------------
+
+    def visit_Call(self, node):
+        callee = _is_self_call(node)
+        if callee is not None and callee in self.marked:
+            required = self.marked[callee]
+            if required == "write" and self.context != "write":
+                self._report(
+                    node,
+                    f"call to write-marked method '{callee}' "
+                    f"{self._where()} — wrap it in "
+                    "'with self._lock.write_lock():' or mark the "
+                    "caller @requires_write_lock",
+                )
+            elif required == "read" and self.context is None:
+                self._report(
+                    node,
+                    f"call to read-marked method '{callee}' "
+                    f"{self._where()} — acquire at least the read "
+                    "lock first",
+                )
+        if self.context == "read":
+            self._check_read_side_mutation(node)
+        self.generic_visit(node)
+
+    def _check_read_side_mutation(self, node):
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = terminal_name(func.value) or ""
+        if func.attr == "fsync":
+            self._report(
+                node,
+                "fsync under the read lock — durability mutations "
+                "must hold the write lock",
+            )
+        elif func.attr in _WAL_MUTATORS and any(
+            hint in receiver.lower() for hint in _WAL_HINTS
+        ):
+            self._report(
+                node,
+                f"WAL {func.attr} under the read lock — the log's "
+                "ordering guarantee needs the write lock",
+            )
+
+    def _where(self):
+        if self.context is None:
+            return "without holding the lock"
+        return f"under only the {self.context} lock"
+
+    def _report(self, node, message):
+        self.findings.append(Finding(
+            "REP001", self.source.rel, node.lineno,
+            getattr(node, "col_offset", 0),
+            f"{self.cls.name}.{self.method_name}: {message}",
+        ))

@@ -1,0 +1,295 @@
+"""Lint driver: discovery, rule dispatch, baseline, output, CLI.
+
+``repro lint`` and ``python -m repro.analysis`` both land here. The
+default scan root is the installed ``repro`` package itself, so the
+command is position-independent; pass explicit paths to lint anything
+else (the fixture suite does exactly that).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import (
+    BASELINE_NAME,
+    apply_baseline,
+    discover_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .framework import Project, SourceFile, all_rules
+
+__all__ = ["LintReport", "run_lint", "main", "build_parser"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+#: Envelope/operations documentation the REP004 rule cross-checks.
+_DOCS_RELATIVE = ("docs/OPERATIONS.md",)
+
+
+def _default_root():
+    """The ``repro`` package directory this module is installed in."""
+    return Path(__file__).resolve().parent.parent
+
+
+def discover_files(root):
+    """Sorted ``*.py`` files under ``root`` (or ``root`` itself)."""
+    root = Path(root)
+    if root.is_file():
+        return [root]
+    files = []
+    for path in sorted(root.rglob("*.py")):
+        if not _SKIP_DIRS.intersection(path.parts):
+            files.append(path)
+    return files
+
+
+def discover_docs(root):
+    """Envelope docs for REP004: ``docs/OPERATIONS.md`` looked up at
+    the scan root and then up the parent chain (stops at ``.git``)."""
+    node = Path(root).resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        for rel in _DOCS_RELATIVE:
+            doc = candidate / rel
+            if doc.exists():
+                return [doc]
+        if (candidate / ".git").exists():
+            break
+    return []
+
+
+def build_project(root, files=None):
+    root = Path(root)
+    paths = discover_files(root) if files is None else list(files)
+    sources = [SourceFile(path, root) for path in paths]
+    return Project(root=root, files=sources, docs=discover_docs(root))
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list = field(default_factory=list)   # new (reportable)
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: list = field(default_factory=list)
+    n_files: int = 0
+    rules_run: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def to_dict(self):
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "stale_baseline": [
+                {"rule": rule, "path": path, "message": message}
+                for rule, path, message in self.stale_baseline
+            ],
+            "n_files": self.n_files,
+            "rules": self.rules_run,
+            "ok": self.ok,
+        }
+
+
+def run_lint(root=None, files=None, rules=None, baseline=None):
+    """Run the rule set over one tree.
+
+    Parameters
+    ----------
+    root : path, optional
+        Scan root (default: the installed ``repro`` package).
+    files : iterable of paths, optional
+        Explicit file list (default: ``*.py`` under ``root``).
+    rules : iterable of rule ids, optional
+        Subset to run (default: every registered rule).
+    baseline : path | False | None
+        Baseline file; ``None`` auto-discovers ``.repro-lint-baseline
+        .json`` up the parent chain, ``False`` disables baselining.
+    """
+    root = _default_root() if root is None else Path(root)
+    project = build_project(root, files)
+    registry = all_rules()
+    selected = list(registry) if rules is None else list(rules)
+    unknown = [rule_id for rule_id in selected if rule_id not in registry]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {unknown}; known: {sorted(registry)}"
+        )
+
+    findings = []
+    for source in project.files:
+        findings.extend(source.meta_findings(set(registry)))
+    for rule_id in selected:
+        findings.extend(registry[rule_id]().check(project))
+
+    by_file = {source.rel: source for source in project.files}
+    kept, suppressed = [], 0
+    for finding in findings:
+        source = by_file.get(finding.path)
+        if source is not None and source.is_suppressed(finding):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if baseline is None:
+        baseline = discover_baseline(root)
+    baselined, stale = 0, []
+    if baseline:
+        kept, baselined, stale = apply_baseline(
+            kept, load_baseline(baseline)
+        )
+    return LintReport(
+        findings=kept, suppressed=suppressed, baselined=baselined,
+        stale_baseline=stale, n_files=len(project.files),
+        rules_run=selected,
+    )
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Static analysis for the repository's own invariants: "
+            "lock discipline (REP001), replay determinism (REP002), "
+            "metrics drift (REP003), error-mapping completeness "
+            "(REP004), exception hygiene (REP005)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=(
+            "files or directories to lint (default: the installed "
+            "repro package)"
+        ),
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help=(
+            "also fail (exit 1) on stale baseline entries, keeping "
+            "the grandfathered-debt ledger honest"
+        ),
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated rule subset, e.g. REP001,REP005",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=(
+            f"baseline file (default: auto-discover {BASELINE_NAME} "
+            "up the parent chain)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help=(
+            "write the current findings to the baseline file and exit "
+            "0 (requires --baseline or a discoverable file location)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv=None, stdout=None):
+    """CLI entry point; returns the process exit code."""
+    stdout = sys.stdout if stdout is None else stdout
+    args = build_parser().parse_args(argv)
+    registry = all_rules()
+    if args.list_rules:
+        for rule_id, cls in sorted(registry.items()):
+            print(f"{rule_id}  {cls.title}", file=stdout)
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    roots = args.paths or [None]
+
+    baseline = False if args.no_baseline else args.baseline
+    if args.write_baseline:
+        baseline_path = args.baseline
+        if baseline_path is None:
+            root = Path(roots[0]) if roots[0] else _default_root()
+            discovered = discover_baseline(root)
+            baseline_path = (
+                discovered if discovered is not None
+                else Path.cwd() / BASELINE_NAME
+            )
+        findings = []
+        for root in roots:
+            findings.extend(
+                run_lint(root, rules=rules, baseline=False).findings
+            )
+        count = write_baseline(baseline_path, findings)
+        print(
+            f"wrote {count} baseline entr"
+            f"{'y' if count == 1 else 'ies'} to {baseline_path}",
+            file=stdout,
+        )
+        return 0
+
+    reports = [
+        run_lint(root, rules=rules, baseline=baseline) for root in roots
+    ]
+    merged = LintReport(
+        findings=[f for report in reports for f in report.findings],
+        suppressed=sum(report.suppressed for report in reports),
+        baselined=sum(report.baselined for report in reports),
+        stale_baseline=[
+            entry for report in reports
+            for entry in report.stale_baseline
+        ],
+        n_files=sum(report.n_files for report in reports),
+        rules_run=reports[0].rules_run if reports else [],
+    )
+
+    if args.format == "json":
+        json.dump(merged.to_dict(), stdout, indent=2)
+        stdout.write("\n")
+    else:
+        for finding in merged.findings:
+            print(finding.format(), file=stdout)
+        for rule_id, path, message in merged.stale_baseline:
+            print(
+                f"stale baseline entry: {rule_id} {path} — {message!r} "
+                "no longer matches anything; remove it",
+                file=stdout,
+            )
+        status = "clean" if merged.ok else (
+            f"{len(merged.findings)} finding(s)"
+        )
+        print(
+            f"repro lint: {status} across {merged.n_files} file(s) "
+            f"[{merged.suppressed} suppressed inline, "
+            f"{merged.baselined} baselined]",
+            file=stdout,
+        )
+
+    if merged.findings:
+        return 1
+    if args.strict and merged.stale_baseline:
+        return 1
+    return 0

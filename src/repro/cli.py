@@ -7,15 +7,21 @@ terminal, e.g.::
     python -m repro table4 --scale 0.2 --no-lm
     python -m repro fig6 --scale 0.15
 
-or serves a repository over HTTP (see :mod:`repro.service`)::
+serves a repository over HTTP (see :mod:`repro.service`)::
 
     python -m repro serve --store runs/morer_store --port 8640
     python -m repro serve --demo 24        # synthetic fixture repository
+
+or runs the repository-invariant static analyzer
+(see :mod:`repro.analysis`)::
+
+    python -m repro lint --strict
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 __all__ = ["main", "build_parser"]
 
@@ -35,7 +41,11 @@ def build_parser():
     )
     parser.add_argument(
         "experiment", choices=_COMMANDS,
-        help="which table/figure to regenerate, or 'serve'",
+        help=(
+            "which table/figure to regenerate, or 'serve' ('repro lint' "
+            "— the static analyzer — has its own flags; see 'repro lint "
+            "--help')"
+        ),
     )
     parser.add_argument(
         "--scale", type=float, default=0.25,
@@ -294,6 +304,17 @@ def _serve(args):
 
 def main(argv=None):
     """Dispatch to the experiment drivers; returns their result object."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # The analyzer owns its flag namespace (--strict, --rules, ...)
+        # and is dispatched before the experiment parser sees them. It
+        # is stdlib-only, so this import never pulls in numpy.
+        from .analysis.runner import main as lint_main
+
+        code = lint_main(argv[1:])
+        if code:
+            raise SystemExit(code)
+        return code
     args = build_parser().parse_args(argv)
     if args.experiment == "serve":
         return _serve(args)

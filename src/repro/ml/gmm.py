@@ -71,7 +71,9 @@ class GaussianMixture(BaseEstimator):
         weights = np.full(k, 1.0 / k)
 
         previous_ll = -np.inf
+        n_iter = 0
         for iteration in range(self.max_iter):
+            n_iter = iteration + 1
             log_resp, log_likelihood = self._e_step(X, means, variances, weights)
             resp = np.exp(log_resp)
             nk = resp.sum(axis=0) + 1e-12
@@ -88,7 +90,7 @@ class GaussianMixture(BaseEstimator):
         self.weights_ = weights
         self.means_ = means
         self.variances_ = variances
-        self.n_iter_ = iteration + 1
+        self.n_iter_ = n_iter
         self.lower_bound_ = float(log_likelihood)
         self.n_features_in_ = d
         return self

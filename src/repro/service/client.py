@@ -92,16 +92,21 @@ class ServiceClient:
         this caller to the gateway's per-client admission control and
         access log. Defaults to letting the gateway fall back to the
         remote address.
+    rng : random.Random, optional
+        Source of the backoff jitter. Defaults to a fresh unseeded
+        ``random.Random()`` — pass a seeded instance to make retry
+        timing reproducible in tests and replay harnesses.
     """
 
     def __init__(self, base_url, timeout=60.0, retries=2, backoff=0.1,
-                 backoff_max=2.0, client_id=None):
+                 backoff_max=2.0, client_id=None, rng=None):
         self.base_url = str(base_url).rstrip("/")
         self.timeout = float(timeout)
         self.retries = max(int(retries), 0)
         self.backoff = max(float(backoff), 0.0)
         self.backoff_max = max(float(backoff_max), 0.0)
         self.client_id = None if client_id is None else str(client_id)
+        self._rng = rng if rng is not None else random.Random()
 
     # -- transport ---------------------------------------------------------
 
@@ -118,7 +123,7 @@ class ServiceClient:
                 # still grow, half random so synchronised clients
                 # don't re-stampede an Overloaded queue in lockstep.
                 delay = min(self.backoff_max, self.backoff * (2 ** attempt))
-                delay *= 0.5 + 0.5 * random.random()
+                delay *= 0.5 + 0.5 * self._rng.random()
                 retry_after = getattr(exc, "retry_after", None)
                 if retry_after is not None:
                     # The server said when the bucket refills; retrying

@@ -170,6 +170,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _send(self, status, body, content_type, retry_after=None):
         self._status = status
+        # Metrics before the first response byte: a caller holding its
+        # response must find /metrics already reflecting the request
+        # (same contract as the service's _record_tick).
+        self._record_metrics()
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -209,7 +213,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         try:
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise InvalidRequest(f"request body is not valid JSON: {exc}")
+            raise InvalidRequest(
+                f"request body is not valid JSON: {exc}"
+            ) from exc
 
     # -- request lifecycle -------------------------------------------------
 
@@ -221,6 +227,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _route(self, method, routes):
         started = time.perf_counter()
+        self._started = started
+        self._method = method
+        self._endpoint_label = "other"
+        self._metrics_done = False
         self._status = 500
         self._batch_id = None
         self._error_code = None
@@ -234,6 +244,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         )
         endpoint = self.path.split("?", 1)[0]
         name = routes.get(endpoint)
+        if name is not None:
+            self._endpoint_label = endpoint
         try:
             if name is None:
                 self._drain_body()
@@ -252,26 +264,42 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         except ServiceError as error:
             self._error_code = error.code
             self._reply_error(error)
-        except Exception as exc:  # pragma: no cover - defensive 500
+        except Exception as exc:  # noqa: BLE001 - defensive 500; answer, not die
             self._error_code = "service_error"
             self._reply_error(ServiceError(f"internal error: {exc}"))
         finally:
             self._observe(
-                method, endpoint if name is not None else "other",
-                endpoint, time.perf_counter() - started,
+                method, endpoint, time.perf_counter() - started,
             )
 
-    def _observe(self, method, endpoint_label, endpoint, elapsed):
-        """Metrics + one structured access-log line per request."""
+    def _record_metrics(self):
+        """Request counter/latency update, at most once per request.
+
+        Runs from :meth:`_send` *before* any response byte (so a
+        scrape racing the response always sees the request), and again
+        from the ``finally`` path as a backstop for requests that died
+        before replying."""
+        if self._metrics_done:
+            return
+        self._metrics_done = True
         try:
             metrics = self.server.service.metrics
             metrics.http_requests_total.inc(
-                endpoint=endpoint_label, method=method,
+                endpoint=self._endpoint_label, method=self._method,
                 status=str(self._status),
             )
             metrics.http_request_seconds.observe(
-                elapsed, endpoint=endpoint_label
+                time.perf_counter() - self._started,
+                endpoint=self._endpoint_label,
             )
+        except Exception:  # noqa: BLE001 - observing must never fail
+            pass
+
+    def _observe(self, method, endpoint, elapsed):
+        """One structured access-log line per request (metrics were
+        already recorded pre-response by :meth:`_record_metrics`)."""
+        self._record_metrics()
+        try:
             fields = {
                 "request_id": self.request_id,
                 "client_id": self.client_id,

@@ -512,17 +512,22 @@ class AccessLog:
 
     Writes are serialised under a lock and failures are swallowed:
     logging must never fail a request.
+
+    ``clock`` (default :func:`time.time`) supplies the ``ts`` field —
+    inject a fake for deterministic log fixtures and replay tests.
     """
 
     LEVELS = {"off": 0, "info": 1, "debug": 2}
 
-    def __init__(self, stream=None, path=None, level="info"):
+    def __init__(self, stream=None, path=None, level="info",
+                 clock=time.time):
         if level not in self.LEVELS:
             raise ValueError(
                 f"unknown access-log level {level!r}; choose from "
                 f"{sorted(self.LEVELS)}"
             )
         self.level = level
+        self._clock = clock
         self._owns_fh = path is not None
         if path is not None:
             self._fh = open(path, "a", encoding="utf-8")
@@ -536,7 +541,7 @@ class AccessLog:
     def log(self, level, **fields):
         if not self.enabled_for(level):
             return
-        record = {"ts": round(time.time(), 6), "level": level}
+        record = {"ts": round(self._clock(), 6), "level": level}
         record.update(fields)
         try:
             line = json.dumps(record, separators=(",", ":"),

@@ -11,34 +11,75 @@ behind it.
 Not reentrant — a thread holding the read lock must not request the
 write lock (upgrade deadlock), and neither side may be re-acquired by
 its holder.
+
+Lock-discipline markers
+-----------------------
+:func:`requires_write_lock` and :func:`requires_read_lock` annotate
+methods whose *caller* must already hold the lock. They are the
+ground truth the ``REP001`` rule of :mod:`repro.analysis` verifies
+statically (every call site of a write-marked method must be lexically
+under ``with self._lock.write_lock():`` or inside another write-marked
+method), and in debug builds (``__debug__``, i.e. Python run without
+``-O``) they also assert at runtime that the owning object's ``_lock``
+is held by the calling thread. Under ``-O`` the decorators only tag
+the function — zero overhead on the hot path.
 """
 
 from __future__ import annotations
 
+import functools
 import threading
 from contextlib import contextmanager
 
-__all__ = ["ReadWriteLock"]
+__all__ = [
+    "ReadWriteLock",
+    "LockDisciplineError",
+    "requires_write_lock",
+    "requires_read_lock",
+]
+
+
+class LockDisciplineError(AssertionError):
+    """A ``@requires_*_lock`` method ran without its lock held."""
 
 
 class ReadWriteLock:
-    """Many concurrent readers, one exclusive writer, writers first."""
+    """Many concurrent readers, one exclusive writer, writers first.
+
+    Holder bookkeeping (``held_read`` / ``held_write``) exists for the
+    debug assertions of :func:`requires_write_lock` /
+    :func:`requires_read_lock` and for tests; it is maintained under
+    the same condition lock the counters already use, so it adds no
+    extra synchronisation.
+    """
 
     def __init__(self):
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._writer_thread = None
+        self._reader_threads = {}
 
     def acquire_read(self):
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+            ident = threading.get_ident()
+            self._reader_threads[ident] = (
+                self._reader_threads.get(ident, 0) + 1
+            )
 
     def release_read(self):
         with self._cond:
             self._readers -= 1
+            ident = threading.get_ident()
+            count = self._reader_threads.get(ident, 0) - 1
+            if count > 0:
+                self._reader_threads[ident] = count
+            else:
+                self._reader_threads.pop(ident, None)
             if self._readers == 0:
                 self._cond.notify_all()
 
@@ -51,11 +92,30 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+            self._writer_thread = threading.get_ident()
 
     def release_write(self):
         with self._cond:
             self._writer_active = False
+            self._writer_thread = None
             self._cond.notify_all()
+
+    def held_write(self):
+        """True when the *calling thread* holds the write lock."""
+        with self._cond:
+            return (
+                self._writer_active
+                and self._writer_thread == threading.get_ident()
+            )
+
+    def held_read(self):
+        """True when the calling thread holds the read **or** write
+        lock (a writer may do anything a reader may)."""
+        with self._cond:
+            ident = threading.get_ident()
+            if self._writer_active and self._writer_thread == ident:
+                return True
+            return self._reader_threads.get(ident, 0) > 0
 
     @contextmanager
     def read_lock(self):
@@ -74,3 +134,44 @@ class ReadWriteLock:
             yield
         finally:
             self.release_write()
+
+
+def _marked(method, mode, check):
+    """Tag ``method`` with its lock requirement; wrap with a debug
+    assertion unless Python runs optimised (``-O`` strips the check,
+    keeping the marker attribute only)."""
+    if not __debug__:
+        method.__repro_lock__ = mode
+        return method
+
+    @functools.wraps(method)
+    def guarded(self, *args, **kwargs):
+        lock = getattr(self, "_lock", None)
+        if isinstance(lock, ReadWriteLock) and not check(lock):
+            raise LockDisciplineError(
+                f"{type(self).__name__}.{method.__name__} requires the "
+                f"{mode} lock, but the calling thread does not hold it"
+            )
+        return method(self, *args, **kwargs)
+
+    guarded.__repro_lock__ = mode
+    return guarded
+
+
+def requires_write_lock(method):
+    """The caller must hold ``self._lock``'s **write** side.
+
+    Statically verified by ``repro lint`` (rule REP001); asserted at
+    runtime in debug builds via :meth:`ReadWriteLock.held_write`.
+    """
+    return _marked(method, "write", ReadWriteLock.held_write)
+
+
+def requires_read_lock(method):
+    """The caller must hold ``self._lock`` — read side suffices
+    (holding the write lock also satisfies it).
+
+    Statically verified by ``repro lint`` (rule REP001); asserted at
+    runtime in debug builds via :meth:`ReadWriteLock.held_read`.
+    """
+    return _marked(method, "read", ReadWriteLock.held_read)

@@ -55,7 +55,7 @@ from .observability import (
     NullServiceMetrics,
     ServiceMetrics,
 )
-from .rwlock import ReadWriteLock
+from .rwlock import ReadWriteLock, requires_read_lock, requires_write_lock
 from .types import FitRequest, RepositoryStats, SolveRequest, SolveResponse
 
 __all__ = ["MoRERService"]
@@ -279,7 +279,7 @@ class MoRERService:
         future = Future()
         try:
             future.set_result(self._solve_base(problem))
-        except BaseException as exc:
+        except BaseException as exc:  # noqa: BLE001 - resolved into caller's future
             future.set_exception(self._translate(exc))
         return future
 
@@ -331,7 +331,7 @@ class MoRERService:
         outcomes = [
             (future.result, future.exception()) for future in futures
         ]
-        for result, error in outcomes:
+        for _result, error in outcomes:
             if error is not None:
                 raise error
         return [result() for result, _ in outcomes]
@@ -483,34 +483,40 @@ class MoRERService:
     def stats(self):
         """Operational snapshot (:class:`RepositoryStats`)."""
         with self._lock.read_lock():
-            morer = self._morer
-            fitted = morer.repository is not None
-            with self._queue_cond:
-                queue_depth = len(self._queue)
-            with self._counter_lock:
-                service = dict(self.counters)
-            service["queue_depth"] = queue_depth
-            service["max_batch_size"] = self.max_batch_size
-            service["max_wait_ms"] = self.max_wait_ms
-            service["max_queue_depth"] = self.max_queue_depth
-            service["wal_enabled"] = self._wal is not None
-            service["wal_seq"] = 0 if self._wal is None else self._wal.seq
-            service["degraded"] = self._degraded_reason is not None
-            service["last_checkpoint_error"] = self._last_checkpoint_error
-            if not fitted:
-                return RepositoryStats(fitted=False, service=service)
-            graph = morer.problem_graph
-            return RepositoryStats(
-                fitted=True,
-                n_entries=len(morer.repository),
-                n_problems=len(graph),
-                total_labels_spent=morer.total_labels_spent(),
-                graph_version=graph.version,
-                journal_pending=graph.journal_length,
-                counters=dict(morer.counters),
-                timings=dict(morer.timings),
-                service=service,
-            )
+            return self._stats_locked()
+
+    @requires_read_lock
+    def _stats_locked(self):
+        """Build the stats snapshot; the read lock keeps the graph /
+        repository fields from being swapped mid-read by a fit."""
+        morer = self._morer
+        fitted = morer.repository is not None
+        with self._queue_cond:
+            queue_depth = len(self._queue)
+        with self._counter_lock:
+            service = dict(self.counters)
+        service["queue_depth"] = queue_depth
+        service["max_batch_size"] = self.max_batch_size
+        service["max_wait_ms"] = self.max_wait_ms
+        service["max_queue_depth"] = self.max_queue_depth
+        service["wal_enabled"] = self._wal is not None
+        service["wal_seq"] = 0 if self._wal is None else self._wal.seq
+        service["degraded"] = self._degraded_reason is not None
+        service["last_checkpoint_error"] = self._last_checkpoint_error
+        if not fitted:
+            return RepositoryStats(fitted=False, service=service)
+        graph = morer.problem_graph
+        return RepositoryStats(
+            fitted=True,
+            n_entries=len(morer.repository),
+            n_problems=len(graph),
+            total_labels_spent=morer.total_labels_spent(),
+            graph_version=graph.version,
+            journal_pending=graph.journal_length,
+            counters=dict(morer.counters),
+            timings=dict(morer.timings),
+            service=service,
+        )
 
     def healthz(self):
         """Liveness/readiness snapshot for the gateway.
@@ -669,7 +675,7 @@ class MoRERService:
             results = self._solve_tick(
                 [pending.problem for pending in batch]
             )
-        except BaseException as exc:
+        except BaseException as exc:  # noqa: BLE001 - routed to futures; must survive
             if len(batch) == 1:
                 batch[0].future.set_exception(self._translate(exc))
                 return
@@ -695,7 +701,7 @@ class MoRERService:
         started = time.perf_counter()
         try:
             result = self._solve_tick([pending.problem])[0]
-        except BaseException as exc:
+        except BaseException as exc:  # noqa: BLE001 - resolved into request's future
             pending.future.set_exception(self._translate(exc))
             return
         tick_id = self._record_tick(
@@ -728,10 +734,14 @@ class MoRERService:
                 self._note_epoch("retrain")
             return results
 
+    @requires_write_lock
     def _wal_append(self, payload):
         """Append one record (no-op without a WAL); on failure flip to
         degraded and raise :class:`Unavailable`. The WAL's seq only
-        advances on success, so a failed append leaves no gap."""
+        advances on success, so a failed append leaves no gap.
+
+        Write-lock-marked: appends must be ordered against the solve /
+        fit they log, and the WAL object itself is not thread-safe."""
         if self._wal is None:
             return None
         if self._degraded_reason is not None:
@@ -757,6 +767,7 @@ class MoRERService:
         )
         return seq
 
+    @requires_write_lock
     def _note_epoch(self, event):
         """Best-effort epoch marker (retrains, recoveries). Markers
         carry no replayed state, so losing one must not fail the solve
@@ -852,6 +863,7 @@ class MoRERService:
             metrics.solve_decisions_total.inc(decision=decision)
         return tick_id
 
+    @requires_write_lock
     def _after_mutation(self):
         """Write-lock-held bookkeeping after fit / cov / load.
 

@@ -1,0 +1,6 @@
+"""Meta-finding fixture: suppressions that must be reported, not
+honoured (REP000 is itself unsuppressable)."""
+
+UNKNOWN = 1  # repro: ignore[REP999] - no such rule registered
+TYPO = 2  # repro: ignore[REPOO1] - letter O, not zero
+EMPTY = 3  # repro: ignore[] - lists no rules at all

@@ -1,0 +1,23 @@
+"""Suppression-grammar fixture: every form the framework accepts."""
+
+
+def inline(fn):
+    try:
+        return fn()
+    except Exception:  # repro: ignore[REP005] - fixture exercises this
+        return None
+
+
+def line_above(fn):
+    try:
+        return fn()
+    # repro: ignore[REP005] - no room on the except line itself
+    except Exception:
+        return None
+
+
+def wildcard(fn):
+    try:
+        return fn()
+    except Exception:  # repro: ignore[*] - suppress everything here
+        return None

@@ -1,0 +1,49 @@
+"""REP001 golden fixture: every lock-discipline violation, seeded."""
+
+from repro.service.rwlock import (
+    ReadWriteLock,
+    requires_read_lock,
+    requires_write_lock,
+)
+
+
+class BadStore:
+    def __init__(self, wal):
+        self._lock = ReadWriteLock()
+        self._wal = wal
+        self._state = {}
+
+    @requires_write_lock
+    def _mutate_locked(self, key, value):
+        self._state[key] = value
+
+    @requires_read_lock
+    def _snapshot_locked(self):
+        return dict(self._state)
+
+    def put_unlocked(self, key, value):
+        # Violation: write-marked callee with no lock held at all.
+        self._mutate_locked(key, value)
+
+    def put_under_read(self, key, value):
+        with self._lock.read_lock():
+            # Violation: write-marked callee under only the read lock.
+            self._mutate_locked(key, value)
+
+    def snapshot_unlocked(self):
+        # Violation: read-marked callee without any lock.
+        return self._snapshot_locked()
+
+    def log_under_read(self, record, fh):
+        with self._lock.read_lock():
+            # Violations: WAL append and fsync under the read lock.
+            self._wal.append(record)
+            import os
+
+            os.fsync(fh.fileno())
+
+    @requires_write_lock
+    def _deadlock_locked(self, key):
+        # Violation: marked method re-acquiring the non-reentrant lock.
+        with self._lock.write_lock():
+            return self._state.get(key)

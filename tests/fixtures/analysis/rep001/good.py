@@ -1,0 +1,48 @@
+"""REP001 golden fixture: the corrected forms — zero findings."""
+
+from repro.service.rwlock import (
+    ReadWriteLock,
+    requires_read_lock,
+    requires_write_lock,
+)
+
+
+class GoodStore:
+    def __init__(self, wal):
+        self._lock = ReadWriteLock()
+        self._wal = wal
+        self._state = {}
+
+    @requires_write_lock
+    def _mutate_locked(self, key, value):
+        self._state[key] = value
+        self._wal.append((key, value))
+
+    @requires_read_lock
+    def _snapshot_locked(self):
+        return dict(self._state)
+
+    def put(self, key, value):
+        with self._lock.write_lock():
+            self._mutate_locked(key, value)
+
+    def snapshot(self):
+        with self._lock.read_lock():
+            return self._snapshot_locked()
+
+    @requires_write_lock
+    def _compound_locked(self, key, value):
+        # Marked caller -> marked callee: the entry context carries.
+        self._mutate_locked(key, value)
+        return self._snapshot_locked()
+
+    def enqueue(self, pending):
+        # A deferred closure resets context — calling it *here* would
+        # be a violation, scheduling it for later is not this rule's
+        # business (the runtime assertion backstops it).
+        def flush():
+            with self._lock.write_lock():
+                for key, value in pending:
+                    self._mutate_locked(key, value)
+
+        return flush

@@ -1,0 +1,25 @@
+"""REP002 golden fixture: nondeterminism on a replayed path."""
+
+import datetime
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    # Violation: module-global RNG — replay draws different numbers.
+    return random.random()
+
+
+def shuffle_probes(probes):
+    # Violation: np module-global RNG.
+    order = np.random.permutation(len(probes))
+    return [probes[i] for i in order]
+
+
+def stamp_decision(decision):
+    # Violations: wall-clock reads feeding replayed state.
+    decision["ts"] = time.time()
+    decision["day"] = datetime.date.today()
+    return decision

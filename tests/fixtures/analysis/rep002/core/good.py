@@ -1,0 +1,30 @@
+"""REP002 golden fixture: the injected forms — zero findings."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter(rng):
+    # Injected seeded stream: replayable.
+    return rng.random()
+
+
+def make_rng(seed):
+    # Seedable constructors are the approved escape hatch.
+    return random.Random(seed), np.random.default_rng(seed)
+
+
+def stamp_decision(decision, clock):
+    # The clock arrives as a parameter; telemetry clocks stay fine.
+    decision["ts"] = clock()
+    decision["elapsed"] = time.monotonic() - decision["t0"]
+    return decision
+
+
+class Telemetry:
+    # A bare reference as an injectable default is the seam the rule
+    # wants — only *calls* are flagged.
+    def __init__(self, clock=time.time):
+        self._clock = clock

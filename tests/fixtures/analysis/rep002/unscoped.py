@@ -1,0 +1,9 @@
+"""Outside ``core``/``durability``/``service``: REP002 stays silent —
+experiment drivers may use ad-hoc randomness freely."""
+
+import random
+import time
+
+
+def sample():
+    return random.random(), time.time()

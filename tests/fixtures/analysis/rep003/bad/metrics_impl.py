@@ -1,0 +1,20 @@
+"""REP003 golden fixture: both drift directions, seeded."""
+
+SERVICE_METRIC_SPECS = [
+    {"name": "demo_solves_total", "kind": "counter"},
+    {"name": "demo_queue_depth", "kind": "gauge"},
+    {"name": "demo_dead_series", "kind": "counter"},
+]
+
+
+class Handler:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def on_solve(self):
+        self.metrics.solves_total.inc()
+        self.metrics.queue_depth.set(3)
+        # Violation: emitted but no spec entry (typo'd name).
+        self.metrics.solvs_total.inc()
+    # Violation (reported at the spec literal): demo_dead_series is
+    # registered but never emitted anywhere in this tree.

@@ -1,0 +1,20 @@
+"""REP003 golden fixture: emissions ↔ specs in lockstep — zero
+findings."""
+
+SERVICE_METRIC_SPECS = [
+    {"name": "demo_solves_total", "kind": "counter"},
+    {"name": "demo_queue_depth", "kind": "gauge"},
+]
+
+
+class Handler:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def on_solve(self):
+        self.metrics.solves_total.inc()
+        self.metrics.queue_depth.set(3)
+
+    def report(self):
+        # Reads must resolve but do not count as emissions.
+        return self.metrics.solves_total.value()

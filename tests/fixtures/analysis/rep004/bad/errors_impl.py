@@ -1,0 +1,34 @@
+"""REP004 golden fixture: every mapping hole, seeded."""
+
+
+class ServiceError(Exception):
+    code = "service_error"
+    http_status = 500
+
+
+class MissingCode(ServiceError):
+    # Violation: no own wire code — shares the parent's.
+    http_status = 502
+
+
+class MissingStatus(ServiceError):
+    # Violation: no own http_status mapping.
+    code = "missing_status"
+
+
+class DuplicateCode(ServiceError):
+    # Violation: reuses an existing wire code.
+    code = "service_error"
+    http_status = 503
+
+
+class Undocumented(ServiceError):
+    # Violation: valid mapping, but absent from docs/OPERATIONS.md.
+    code = "undocumented"
+    http_status = 418
+
+
+class GrandchildOk(Undocumented):
+    # Transitive subclass: still checked (code documented below).
+    code = "grandchild"
+    http_status = 400

@@ -1,0 +1,22 @@
+"""REP004 golden fixture: a complete error mapping — zero findings."""
+
+
+class ServiceError(Exception):
+    code = "service_error"
+    http_status = 500
+
+
+class NotReady(ServiceError):
+    code = "not_ready"
+    http_status = 409
+
+
+class BadInput(ServiceError):
+    code = "bad_input"
+    http_status = 400
+
+
+class Saturated(NotReady):
+    # Transitive subclass with its own complete mapping.
+    code = "saturated"
+    http_status = 429

@@ -1,0 +1,36 @@
+"""REP005 golden fixture: unjustified blind catches, seeded."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def swallow_harder(fn):
+    try:
+        return fn()
+    except BaseException:
+        return None
+
+
+def bare(fn):
+    try:
+        return fn()
+    except:  # noqa: E722
+        return None
+
+
+def tucked_in_tuple(fn):
+    try:
+        return fn()
+    except (ValueError, Exception):
+        return None
+
+
+def empty_reason(fn):
+    try:
+        return fn()
+    except Exception:  # noqa: BLE001 -
+        return None

@@ -208,7 +208,7 @@ def test_zeroer_one_to_one_cleanup_reduces_conflicts():
 def _record_pairs(n=80, seed=0):
     rng = np.random.default_rng(seed)
     pairs, labels = [], []
-    for i in range(n):
+    for _ in range(n):
         name = f"prod{rng.integers(0, 20)} alpha beta"
         a = {"title": name, "price": 10}
         if rng.random() < 0.5:

@@ -328,7 +328,7 @@ def test_mixed_churn_random_interleavings():
     probe_pool = _probes(18, seed=500, prefix="G")
     next_probe = 0
     removable = []
-    for step in range(12):
+    for _step in range(12):
         op = rng.choice(["batch", "solve", "remove"])
         if op == "remove" and not removable:
             op = "solve"

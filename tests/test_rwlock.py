@@ -1,0 +1,238 @@
+"""Unit tests for the write-preferring read-write lock and the
+``@requires_*_lock`` discipline decorators (REP001's runtime half)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.rwlock import (
+    LockDisciplineError,
+    ReadWriteLock,
+    requires_read_lock,
+    requires_write_lock,
+)
+
+
+def _spawn(fn):
+    thread = threading.Thread(target=fn, daemon=True)
+    thread.start()
+    return thread
+
+
+# ---------------------------------------------------------------------------
+# Core semantics
+
+
+def test_concurrent_readers():
+    lock = ReadWriteLock()
+    inside = threading.Barrier(3, timeout=5)
+
+    def reader():
+        with lock.read_lock():
+            inside.wait()  # all three hold the read side at once
+
+    threads = [_spawn(reader) for _ in range(3)]
+    for thread in threads:
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+
+def test_writer_excludes_readers_and_writers():
+    lock = ReadWriteLock()
+    order = []
+
+    def reader():
+        with lock.read_lock():
+            order.append("read")
+
+    def writer():
+        with lock.write_lock():
+            order.append("write")
+
+    with lock.write_lock():
+        t_read = _spawn(reader)
+        t_write = _spawn(writer)
+        time.sleep(0.05)
+        assert order == []  # both blocked behind the writer
+    t_read.join(timeout=5)
+    t_write.join(timeout=5)
+    assert not t_read.is_alive() and not t_write.is_alive()
+    # Writer preference: the queued writer goes first.
+    assert order == ["write", "read"]
+
+
+def test_write_preference_blocks_new_readers():
+    lock = ReadWriteLock()
+    events = []
+    reader_in = threading.Event()
+    release_reader = threading.Event()
+    writer_done = threading.Event()
+
+    def first_reader():
+        with lock.read_lock():
+            reader_in.set()
+            release_reader.wait(timeout=5)
+
+    def writer():
+        with lock.write_lock():
+            events.append("writer")
+        writer_done.set()
+
+    def late_reader():
+        with lock.read_lock():
+            events.append("late_reader")
+
+    t1 = _spawn(first_reader)
+    assert reader_in.wait(timeout=5)
+    t2 = _spawn(writer)
+    time.sleep(0.05)  # let the writer queue up
+    t3 = _spawn(late_reader)
+    time.sleep(0.05)
+    # The late reader must NOT slip in ahead of the waiting writer.
+    assert events == []
+    release_reader.set()
+    assert writer_done.wait(timeout=5)
+    for thread in (t1, t2, t3):
+        thread.join(timeout=5)
+    assert events[0] == "writer"
+    assert events == ["writer", "late_reader"]
+
+
+def test_holder_tracking():
+    lock = ReadWriteLock()
+    assert not lock.held_read()
+    assert not lock.held_write()
+    with lock.read_lock():
+        assert lock.held_read()
+        assert not lock.held_write()
+    with lock.write_lock():
+        assert lock.held_write()
+        assert lock.held_read()  # a writer may do anything a reader may
+    assert not lock.held_read()
+    assert not lock.held_write()
+
+
+def test_holder_tracking_is_per_thread():
+    lock = ReadWriteLock()
+    seen = {}
+    inside = threading.Event()
+    release = threading.Event()
+
+    def reader():
+        with lock.read_lock():
+            inside.set()
+            release.wait(timeout=5)
+
+    thread = _spawn(reader)
+    assert inside.wait(timeout=5)
+    # Another thread holds the read side; *this* thread does not.
+    seen["read"] = lock.held_read()
+    seen["write"] = lock.held_write()
+    release.set()
+    thread.join(timeout=5)
+    assert seen == {"read": False, "write": False}
+
+
+def test_reentrant_read_count():
+    """The holder bookkeeping counts nested read acquisitions from one
+    thread correctly (the lock itself stays documented non-reentrant;
+    this pins the accounting that the debug assertions rely on)."""
+    lock = ReadWriteLock()
+    lock.acquire_read()
+    lock.acquire_read()
+    assert lock.held_read()
+    lock.release_read()
+    assert lock.held_read()  # one acquisition still outstanding
+    lock.release_read()
+    assert not lock.held_read()
+
+
+# ---------------------------------------------------------------------------
+# Marker decorators (runtime half of REP001)
+
+
+class _Guarded:
+    def __init__(self):
+        self._lock = ReadWriteLock()
+        self.state = 0
+
+    @requires_write_lock
+    def bump_locked(self):
+        self.state += 1
+        return self.state
+
+    @requires_read_lock
+    def peek_locked(self):
+        return self.state
+
+
+def test_markers_tag_the_function():
+    assert _Guarded.bump_locked.__repro_lock__ == "write"
+    assert _Guarded.peek_locked.__repro_lock__ == "read"
+    # functools.wraps preserved identity for introspection/docs.
+    assert _Guarded.bump_locked.__name__ == "bump_locked"
+
+
+def test_write_marker_asserts_without_lock():
+    obj = _Guarded()
+    with pytest.raises(LockDisciplineError):
+        obj.bump_locked()
+
+
+def test_write_marker_asserts_under_read_lock():
+    obj = _Guarded()
+    with obj._lock.read_lock():
+        with pytest.raises(LockDisciplineError):
+            obj.bump_locked()
+
+
+def test_read_marker_asserts_without_lock():
+    obj = _Guarded()
+    with pytest.raises(LockDisciplineError):
+        obj.peek_locked()
+
+
+def test_markers_pass_with_correct_lock():
+    obj = _Guarded()
+    with obj._lock.write_lock():
+        assert obj.bump_locked() == 1
+        assert obj.peek_locked() == 1  # write satisfies read
+    with obj._lock.read_lock():
+        assert obj.peek_locked() == 1
+
+
+def test_marker_asserts_from_wrong_thread():
+    """Holding the write lock on thread A does not license thread B."""
+    obj = _Guarded()
+    result = {}
+    entered = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with obj._lock.write_lock():
+            entered.set()
+            release.wait(timeout=5)
+
+    thread = _spawn(holder)
+    assert entered.wait(timeout=5)
+    try:
+        obj.bump_locked()
+        result["raised"] = False
+    except LockDisciplineError:
+        result["raised"] = True
+    release.set()
+    thread.join(timeout=5)
+    assert result["raised"]
+
+
+def test_markers_tolerate_objects_without_lock():
+    """A marked method on an object with no ``_lock`` stays callable —
+    the decorators guard discipline, they do not impose a lock."""
+
+    class Free:
+        @requires_write_lock
+        def poke_locked(self):
+            return "ok"
+
+    assert Free().poke_locked() == "ok"
